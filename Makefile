@@ -1,0 +1,26 @@
+.PHONY: all build test bench examples clean doc
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/mesh_pipeline.exe
+	dune exec examples/architecture_comparison.exe
+	dune exec examples/filter_suite.exe
+	dune exec examples/custom_machine.exe
+	dune exec examples/multi_app.exe
+
+doc: # requires odoc (opam install odoc)
+	dune build @doc
+
+clean:
+	dune clean

@@ -1,0 +1,553 @@
+(* ccsched — command-line front end for cyclo-compaction scheduling.
+
+   ccsched list
+   ccsched show fig1b
+   ccsched schedule fig7 --arch mesh:2x4 --table --trace
+   ccsched compare elliptic --slowdown 3
+   ccsched export fig1b --dot -o fig1b.dot *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Argument parsing helpers                                             *)
+(* ------------------------------------------------------------------ *)
+
+let load_graph spec =
+  match Workloads.Suite.find spec with
+  | Some g -> Ok g
+  | None ->
+      if Sys.file_exists spec then Dataflow.Io.read_file ~path:spec
+      else
+        Error
+          (Printf.sprintf
+             "unknown workload %S (try `ccsched list` or a .csdfg file path)"
+             spec)
+
+let parse_arch spec =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "bad architecture %S; use linear:N ring:N complete:N mesh:RxC \
+          torus:RxC hypercube:D star:N tree:N"
+         spec)
+  in
+  match String.split_on_char ':' spec with
+  | [ kind; dims ] -> (
+      let dim2 () =
+        match String.split_on_char 'x' dims with
+        | [ r; c ] -> (
+            match (int_of_string_opt r, int_of_string_opt c) with
+            | Some r, Some c when r > 0 && c > 0 -> Some (r, c)
+            | _ -> None)
+        | _ -> None
+      in
+      match kind with
+      | "mesh" -> (
+          match dim2 () with
+          | Some (r, c) -> Ok (Topology.mesh ~rows:r ~cols:c)
+          | None -> fail ())
+      | "torus" -> (
+          match dim2 () with
+          | Some (r, c) -> Ok (Topology.torus ~rows:r ~cols:c)
+          | None -> fail ())
+      | _ -> (
+          match int_of_string_opt dims with
+          | None -> fail ()
+          | Some n -> (
+              match kind with
+              | "linear" -> Ok (Topology.linear_array n)
+              | "ring" -> Ok (Topology.ring n)
+              | "complete" -> Ok (Topology.complete n)
+              | "hypercube" | "cube" -> Ok (Topology.hypercube n)
+              | "star" -> Ok (Topology.star n)
+              | "tree" -> Ok (Topology.binary_tree n)
+              | _ -> fail ())))
+  | _ -> fail ()
+
+let graph_arg =
+  let doc = "Workload name (see $(b,ccsched list)) or path to a .csdfg file." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"GRAPH" ~doc)
+
+let arch_arg =
+  let doc =
+    "Target architecture, e.g. complete:8, linear:8, ring:8, mesh:2x4, \
+     torus:2x4, hypercube:3, star:8, tree:8."
+  in
+  Arg.(value & opt string "complete:8" & info [ "a"; "arch" ] ~docv:"ARCH" ~doc)
+
+let mode_arg =
+  let doc = "Remapping mode: $(b,relax) (default) or $(b,strict)." in
+  Arg.(value & opt (enum [ ("relax", Cyclo.Remap.With_relaxation);
+                           ("strict", Cyclo.Remap.Without_relaxation) ])
+         Cyclo.Remap.With_relaxation
+       & info [ "m"; "mode" ] ~docv:"MODE" ~doc)
+
+let passes_arg =
+  let doc = "Compaction pass budget (default scales with the graph)." in
+  Arg.(value & opt (some int) None & info [ "p"; "passes" ] ~docv:"N" ~doc)
+
+let slowdown_arg =
+  let doc = "Multiply every edge delay by $(docv) before scheduling." in
+  Arg.(value & opt int 1 & info [ "slowdown" ] ~docv:"K" ~doc)
+
+let table_flag =
+  Arg.(value & flag & info [ "t"; "table" ] ~doc:"Print the schedule tables.")
+
+let trace_flag =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Print the per-pass trace.")
+
+let speeds_arg =
+  let doc =
+    "Comma-separated per-processor cycle-time multipliers for a      heterogeneous machine, e.g. 1,1,2,2 (default: uniform)."
+  in
+  Arg.(value & opt (some string) None & info [ "speeds" ] ~docv:"S1,S2,.." ~doc)
+
+let parse_speeds topo = function
+  | None -> Ok None
+  | Some text ->
+      let parts = String.split_on_char ',' text in
+      let parsed = List.map int_of_string_opt parts in
+      if List.exists Option.is_none parsed then
+        Error (Printf.sprintf "bad --speeds %S" text)
+      else begin
+        let speeds = Array.of_list (List.map Option.get parsed) in
+        if Array.length speeds <> Topology.n_processors topo then
+          Error
+            (Printf.sprintf "--speeds needs %d entries for %s"
+               (Topology.n_processors topo) (Topology.name topo))
+        else if Array.exists (fun x -> x <= 0) speeds then
+          Error "--speeds entries must be positive"
+        else Ok (Some speeds)
+      end
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      Fmt.epr "ccsched: %s@." msg;
+      exit 1
+
+let prepared spec slowdown =
+  let g = or_die (load_graph spec) in
+  if slowdown > 1 then Dataflow.Transform.slowdown g slowdown else g
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    Fmt.pr "built-in workloads:@.";
+    List.iter
+      (fun (name, g) -> Fmt.pr "  %-16s %a@." name Dataflow.Csdfg.pp_stats g)
+      (Workloads.Suite.all ());
+    Fmt.pr "@.architecture syntax: linear:N ring:N complete:N mesh:RxC \
+            torus:RxC hypercube:D star:N tree:N@."
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List built-in workloads and architectures.")
+    Term.(const run $ const ())
+
+let show_cmd =
+  let run spec slowdown =
+    let g = prepared spec slowdown in
+    Fmt.pr "%a@.@." Dataflow.Csdfg.pp g;
+    (match Dataflow.Csdfg.validate g with
+    | Ok () -> Fmt.pr "legality: ok@."
+    | Error problems ->
+        Fmt.pr "legality problems:@.";
+        List.iter
+          (fun p -> Fmt.pr "  %a@." (Dataflow.Csdfg.pp_violation g) p)
+          problems);
+    (match Dataflow.Iteration_bound.exact_ceil g with
+    | Some b -> Fmt.pr "iteration bound: %d@." b
+    | None -> Fmt.pr "iteration bound: none (acyclic)@.");
+    Fmt.pr "zero-delay critical path: %d@." (Dataflow.Retiming.clock_period g);
+    let period, _ = Dataflow.Retiming.min_period g in
+    Fmt.pr "min clock period under retiming: %d@." period
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Inspect a workload: legality, bounds, stats.")
+    Term.(const run $ graph_arg $ slowdown_arg)
+
+let schedule_cmd =
+  let run spec arch mode passes slowdown speeds table trace =
+    let g = prepared spec slowdown in
+    let topo = or_die (parse_arch arch) in
+    let speeds = or_die (parse_speeds topo speeds) in
+    let r = Cyclo.Compaction.run_on ~mode ?speeds ?passes g topo in
+    let startup = r.Cyclo.Compaction.startup and best = r.Cyclo.Compaction.best in
+    Fmt.pr "workload %s on %s (%a)@." (Dataflow.Csdfg.name g)
+      (Topology.name topo) Cyclo.Remap.pp_mode mode;
+    Fmt.pr "start-up length: %d@." (Cyclo.Schedule.length startup);
+    Fmt.pr "compacted length: %d (%.0f%% shorter, %d passes%s)@."
+      (Cyclo.Schedule.length best)
+      (Cyclo.Metrics.improvement ~before:startup ~after:best)
+      (List.length r.Cyclo.Compaction.trace)
+      (if r.Cyclo.Compaction.converged then ", converged" else "");
+    (match Dataflow.Iteration_bound.exact_ceil g with
+    | Some b -> Fmt.pr "iteration bound: %d@." b
+    | None -> ());
+    Fmt.pr "metrics: %a@." Cyclo.Metrics.pp_summary best;
+    if trace then
+      Fmt.pr "@.trace:@.%a@." Cyclo.Compaction.pp_trace r.Cyclo.Compaction.trace;
+    if table then begin
+      Fmt.pr "@.start-up schedule:@.%a@." Cyclo.Schedule.pp startup;
+      Fmt.pr "@.best schedule:@.%a@." Cyclo.Schedule.pp best
+    end;
+    match Cyclo.Validator.check best with
+    | Ok () -> ()
+    | Error problems ->
+        Fmt.epr "INTERNAL ERROR: emitted an illegal schedule:@.%a@."
+          (Fmt.list (Cyclo.Validator.pp_violation best))
+          problems;
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "schedule"
+       ~doc:"Run start-up scheduling plus cyclo-compaction on one architecture.")
+    Term.(
+      const run $ graph_arg $ arch_arg $ mode_arg $ passes_arg $ slowdown_arg
+      $ speeds_arg $ table_flag $ trace_flag)
+
+let compare_cmd =
+  let run spec passes slowdown =
+    let g = prepared spec slowdown in
+    let architectures =
+      [
+        ("completely connected", Topology.complete 8);
+        ("linear array", Topology.linear_array 8);
+        ("ring", Topology.ring 8);
+        ("2-D mesh", Topology.mesh ~rows:2 ~cols:4);
+        ("3-cube", Topology.hypercube 3);
+      ]
+    in
+    Fmt.pr "%-22s %8s %8s %8s %10s@." "architecture" "init" "w/o" "with"
+      "oblivious";
+    List.iter
+      (fun (name, topo) ->
+        let strict =
+          Cyclo.Compaction.run_on ~mode:Cyclo.Remap.Without_relaxation ?passes g
+            topo
+        in
+        let relax =
+          Cyclo.Compaction.run_on ~mode:Cyclo.Remap.With_relaxation ?passes g
+            topo
+        in
+        let oblivious = Cyclo.Baseline.rotation_oblivious ?passes g topo in
+        Fmt.pr "%-22s %8d %8d %8d %10d@." name
+          (Cyclo.Schedule.length strict.Cyclo.Compaction.startup)
+          (Cyclo.Schedule.length strict.Cyclo.Compaction.best)
+          (Cyclo.Schedule.length relax.Cyclo.Compaction.best)
+          (Cyclo.Schedule.length oblivious))
+      architectures
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Compare both remapping modes and the oblivious baseline across \
+             the paper's five 8-processor architectures.")
+    Term.(const run $ graph_arg $ passes_arg $ slowdown_arg)
+
+let export_cmd =
+  let output_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output path (default stdout).")
+  in
+  let format_arg =
+    let doc =
+      "Payload: $(b,csdfg) (text graph), $(b,dot) (Graphviz graph), \
+       $(b,gantt), $(b,csv), $(b,json) or $(b,svg) (schedule renderings \
+       of the compacted schedule on --arch)."
+    in
+    Arg.(value
+         & opt (enum [ ("csdfg", `Csdfg); ("dot", `Dot); ("gantt", `Gantt);
+                       ("csv", `Csv); ("json", `Json); ("svg", `Svg);
+                       ("c", `C) ])
+             `Csdfg
+         & info [ "f"; "format" ] ~docv:"FORMAT" ~doc)
+  in
+  let run spec arch slowdown format output =
+    let g = prepared spec slowdown in
+    let schedule () =
+      let topo = or_die (parse_arch arch) in
+      (Cyclo.Compaction.run_on g topo).Cyclo.Compaction.best
+    in
+    let payload =
+      match format with
+      | `Csdfg -> Dataflow.Io.to_string g
+      | `Dot -> Dataflow.Dot_export.to_dot g
+      | `Gantt -> Cyclo.Export.gantt (schedule ())
+      | `Csv ->
+          (* compaction retimes: record the cumulative retiming so
+             `ccsched validate` can rebuild the kernel graph *)
+          let best = schedule () in
+          let prefix =
+            match
+              Dataflow.Retiming.infer ~original:g
+                ~retimed:(Cyclo.Schedule.dfg best)
+            with
+            | Some r ->
+                Printf.sprintf "# retiming=%s\n"
+                  (String.concat ","
+                     (List.map string_of_int (Array.to_list r)))
+            | None -> ""
+          in
+          prefix ^ Cyclo.Export.to_csv best
+      | `Json -> Cyclo.Export.to_json (schedule ())
+      | `Svg -> Cyclo.Export.to_svg (schedule ())
+      | `C -> Codegen.C_emitter.emit (schedule ())
+    in
+    match output with
+    | None -> print_string payload
+    | Some path ->
+        Cyclo.Export.write_file ~path payload;
+        Fmt.pr "wrote %s@." path
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:"Export a workload or its compacted schedule in various formats.")
+    Term.(const run $ graph_arg $ arch_arg $ slowdown_arg $ format_arg
+          $ output_arg)
+
+let simulate_cmd =
+  let iterations_arg =
+    Arg.(value & opt int 40
+         & info [ "n"; "iterations" ] ~docv:"N" ~doc:"Loop iterations to execute.")
+  in
+  let contention_flag =
+    Arg.(value & flag
+         & info [ "contention" ]
+             ~doc:"Single-channel FIFO links instead of the paper's \
+                   contention-free model.")
+  in
+  let wormhole_flag =
+    Arg.(value & flag
+         & info [ "wormhole" ]
+             ~doc:"Wormhole transport (hops + volume - 1) for both the \
+                   schedule's cost model and the execution.")
+  in
+  let run spec arch mode passes slowdown iterations contention wormhole =
+    let g = prepared spec slowdown in
+    let topo = or_die (parse_arch arch) in
+    let comm =
+      if wormhole then Cyclo.Comm.wormhole topo
+      else Cyclo.Comm.of_topology topo
+    in
+    let r = Cyclo.Compaction.run ~mode ?passes g comm in
+    let best = r.Cyclo.Compaction.best in
+    let policy =
+      if contention then Machine.Simulator.Fifo_links
+      else Machine.Simulator.Contention_free
+    in
+    let transport =
+      if wormhole then Machine.Simulator.Wormhole
+      else Machine.Simulator.Store_and_forward
+    in
+    let stats =
+      Machine.Simulator.execute ~policy ~transport best topo ~iterations
+    in
+    Fmt.pr "schedule: %a@." Cyclo.Schedule.pp_compact best;
+    Fmt.pr "execution: %a@." Machine.Simulator.pp_stats stats;
+    Fmt.pr "static bound: %d, slowdown: %.3f@."
+      (Machine.Simulator.static_bound best ~iterations)
+      (Machine.Simulator.slowdown stats best)
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Execute the compacted schedule on the event-driven machine \
+             simulator and compare against the analytical model.")
+    Term.(const run $ graph_arg $ arch_arg $ mode_arg $ passes_arg
+          $ slowdown_arg $ iterations_arg $ contention_flag $ wormhole_flag)
+
+let pipeline_cmd =
+  let iterations_arg =
+    Arg.(value & opt int 1000
+         & info [ "n"; "iterations" ] ~docv:"N"
+             ~doc:"Total loop iterations for the overhead figures.")
+  in
+  let run spec arch mode passes slowdown n =
+    let g = prepared spec slowdown in
+    let topo = or_die (parse_arch arch) in
+    let r = Cyclo.Compaction.run_on ~mode ?passes g topo in
+    let best = r.Cyclo.Compaction.best in
+    match Cyclo.Pipeline.build ~original:g best with
+    | Error e ->
+        Fmt.epr "ccsched: %s@." e;
+        exit 1
+    | Ok p ->
+        Fmt.pr "%a@." (Cyclo.Pipeline.pp g) p;
+        Fmt.pr "epilogue (N=%d): %d instruction(s)@." n
+          (Cyclo.Pipeline.epilogue_length p ~n);
+        Fmt.pr "overhead (N=%d): %.4f%%@." n
+          (100. *. Cyclo.Pipeline.overhead_ratio p ~n);
+        Fmt.pr "total time (N=%d): %d control steps (%.2f per iteration)@." n
+          (Cyclo.Pipeline.total_time p ~n)
+          (float_of_int (Cyclo.Pipeline.total_time p ~n) /. float_of_int n)
+  in
+  Cmd.v
+    (Cmd.info "pipeline"
+       ~doc:"Show the prologue/epilogue the compacted (retimed) schedule \
+             requires and its amortized overhead.")
+    Term.(const run $ graph_arg $ arch_arg $ mode_arg $ passes_arg
+          $ slowdown_arg $ iterations_arg)
+
+let autotune_cmd =
+  let run spec arch passes slowdown speeds =
+    let g = prepared spec slowdown in
+    let topo = or_die (parse_arch arch) in
+    let speeds = or_die (parse_speeds topo speeds) in
+    let t = Cyclo.Autotune.run_on ?passes ?speeds g topo in
+    Fmt.pr "%a@." Cyclo.Autotune.pp t;
+    Fmt.pr "@.best schedule:@.%a@." Cyclo.Schedule.pp t.Cyclo.Autotune.best;
+    Fmt.pr "metrics: %a@." Cyclo.Metrics.pp_summary t.Cyclo.Autotune.best
+  in
+  Cmd.v
+    (Cmd.info "autotune"
+       ~doc:"Run the whole scheduler portfolio (both modes, both scorings, \
+             plus local-search polish) in parallel and keep the shortest \
+             schedule.")
+    Term.(const run $ graph_arg $ arch_arg $ passes_arg $ slowdown_arg
+          $ speeds_arg)
+
+let partition_cmd =
+  let graphs_arg =
+    let doc = "Two or more workload names or .csdfg paths to co-schedule." in
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"GRAPH.." ~doc)
+  in
+  let fused_flag =
+    Arg.(value & flag
+         & info [ "fused" ]
+             ~doc:"Share the whole machine with one common table instead of \
+                   carving isolated regions.")
+  in
+  let run specs arch fused =
+    let graphs = List.map (fun s -> or_die (load_graph s)) specs in
+    let topo = or_die (parse_arch arch) in
+    let result =
+      if fused then Cyclo.Partition.fused graphs topo
+      else Cyclo.Partition.partitioned graphs topo
+    in
+    match result with
+    | Error e ->
+        Fmt.epr "ccsched: %s@." e;
+        exit 1
+    | Ok r -> Fmt.pr "%a@." Cyclo.Partition.pp r
+  in
+  Cmd.v
+    (Cmd.info "partition"
+       ~doc:"Place several applications on one machine: isolated connected \
+             regions (default) or one fused schedule (--fused).")
+    Term.(const run $ graphs_arg $ arch_arg $ fused_flag)
+
+let optimal_cmd =
+  let states_arg =
+    Arg.(value & opt int 2_000_000
+         & info [ "max-states" ] ~docv:"N" ~doc:"Search-node budget.")
+  in
+  let run spec arch slowdown states =
+    let g = prepared spec slowdown in
+    let topo = or_die (parse_arch arch) in
+    let comm = Cyclo.Comm.of_topology topo in
+    (match Cyclo.Exhaustive.solve ~max_states:states g comm with
+    | Cyclo.Exhaustive.Optimal s ->
+        Fmt.pr "optimal static schedule (no retiming): length %d@.%a@."
+          (Cyclo.Schedule.length s) Cyclo.Schedule.pp s
+    | Cyclo.Exhaustive.Gave_up _ ->
+        Fmt.pr "gave up within %d states (instance too large)@." states);
+    let r = Cyclo.Compaction.run_on g topo in
+    Fmt.pr "@.cyclo-compaction (with retiming): length %d@."
+      (Cyclo.Schedule.length r.Cyclo.Compaction.best);
+    match Cyclo.Exhaustive.optimality_gap r.Cyclo.Compaction.best with
+    | Some gap -> Fmt.pr "optimality gap on its retimed graph: %d@." gap
+    | None -> Fmt.pr "optimality gap: unknown (search budget exceeded)@."
+  in
+  Cmd.v
+    (Cmd.info "optimal"
+       ~doc:"Exact branch-and-bound schedule for small graphs, compared \
+             against cyclo-compaction.")
+    Term.(const run $ graph_arg $ arch_arg $ slowdown_arg $ states_arg)
+
+let validate_cmd =
+  let csv_arg =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"SCHEDULE.csv"
+             ~doc:"Schedule CSV produced by `ccsched export -f csv`.")
+  in
+  let run spec csv_path arch slowdown speeds =
+    let g = prepared spec slowdown in
+    let topo = or_die (parse_arch arch) in
+    let speeds = or_die (parse_speeds topo speeds) in
+    let text =
+      match
+        let ic = open_in csv_path in
+        Fun.protect
+          ~finally:(fun () -> close_in ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with
+      | text -> text
+      | exception Sys_error msg ->
+          Fmt.epr "ccsched: %s@." msg;
+          exit 1
+    in
+    (* re-apply the retiming recorded at export time, if any *)
+    let g =
+      let prefix = "# retiming=" in
+      let lines = String.split_on_char '\n' text in
+      match
+        List.find_opt
+          (fun l ->
+            String.length l >= String.length prefix
+            && String.sub l 0 (String.length prefix) = prefix)
+          lines
+      with
+      | None -> g
+      | Some line -> (
+          let body =
+            String.sub line (String.length prefix)
+              (String.length line - String.length prefix)
+          in
+          let parsed =
+            String.split_on_char ',' body |> List.map int_of_string_opt
+          in
+          if List.exists Option.is_none parsed then g
+          else
+            let r = Array.of_list (List.map Option.get parsed) in
+            match Dataflow.Retiming.apply g r with
+            | retimed -> retimed
+            | exception Invalid_argument msg ->
+                Fmt.epr "ccsched: bad retiming in CSV: %s@." msg;
+                exit 1)
+    in
+    match Cyclo.Export.of_csv ?speeds g (Cyclo.Comm.of_topology topo) text with
+    | Error msg ->
+        Fmt.epr "ccsched: %s@." msg;
+        exit 1
+    | Ok sched -> (
+        Fmt.pr "%a@." Cyclo.Schedule.pp sched;
+        match Cyclo.Validator.check sched with
+        | Ok () ->
+            Fmt.pr "schedule is legal (length %d); metrics: %a@."
+              (Cyclo.Schedule.length sched) Cyclo.Metrics.pp_summary sched
+        | Error problems ->
+            Fmt.pr "ILLEGAL schedule:@.%a@."
+              (Fmt.list (Cyclo.Validator.pp_violation sched))
+              problems;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Check a schedule CSV against its graph and architecture with \
+             the independent validator.")
+    Term.(const run $ graph_arg $ csv_arg $ arch_arg $ slowdown_arg
+          $ speeds_arg)
+
+let () =
+  let info =
+    Cmd.info "ccsched" ~version:"1.0.0"
+      ~doc:
+        "Architecture-dependent loop scheduling via communication-sensitive \
+         remapping (cyclo-compaction), after Tongsima, Passos & Sha, ICPP 1995."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; show_cmd; schedule_cmd; compare_cmd; export_cmd;
+            simulate_cmd; pipeline_cmd; autotune_cmd; partition_cmd;
+            optimal_cmd; validate_cmd ]))

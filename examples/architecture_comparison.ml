@@ -1,0 +1,39 @@
+(* The paper's §5 experiment: the 19-node CSDFG of Figure 7 scheduled on
+   the five 8-processor architectures of Figure 8, start-up vs
+   cyclo-compacted, plus the communication-oblivious baselines.
+
+     dune exec examples/architecture_comparison.exe *)
+
+module Schedule = Cyclo.Schedule
+
+let architectures () =
+  [
+    ("completely connected", Topology.complete 8);
+    ("linear array", Topology.linear_array 8);
+    ("ring", Topology.ring 8);
+    ("2-D mesh", Topology.mesh ~rows:2 ~cols:4);
+    ("3-cube", Topology.hypercube 3);
+  ]
+
+let () =
+  let g = Workloads.Examples.fig7 in
+  Fmt.pr "workload: %a@." Dataflow.Csdfg.pp_stats g;
+  (match Dataflow.Iteration_bound.exact_ceil g with
+  | Some b -> Fmt.pr "iteration bound: %d@.@." b
+  | None -> Fmt.pr "@.");
+  Fmt.pr "%-22s %8s %8s %10s %12s@." "architecture" "init" "after"
+    "improved%" "oblivious";
+  List.iter
+    (fun (name, topo) ->
+      let r = Cyclo.Compaction.run_on g topo in
+      let oblivious = Cyclo.Baseline.rotation_oblivious g topo in
+      Fmt.pr "%-22s %8d %8d %9.0f%% %12d@." name
+        (Schedule.length r.Cyclo.Compaction.startup)
+        (Schedule.length r.Cyclo.Compaction.best)
+        (Cyclo.Metrics.improvement ~before:r.Cyclo.Compaction.startup
+           ~after:r.Cyclo.Compaction.best)
+        (Schedule.length oblivious))
+    (architectures ());
+  Fmt.pr "@.best schedule on the 2-D mesh:@.";
+  let r = Cyclo.Compaction.run_on g (Topology.mesh ~rows:2 ~cols:4) in
+  Fmt.pr "%a@." Schedule.pp r.Cyclo.Compaction.best

@@ -1,0 +1,48 @@
+(* Sharing one machine between several loop kernels: fused (one common
+   schedule) vs partitioned (isolated connected regions), followed by C
+   code generation for the chosen schedule.
+
+     dune exec examples/multi_app.exe *)
+
+let () =
+  let apps =
+    [
+      Workloads.Dsp.iir_biquad;
+      Workloads.Dsp.diffeq;
+      Workloads.Kernels.volterra;
+    ]
+  in
+  let topo = Topology.mesh ~rows:2 ~cols:4 in
+  Fmt.pr "machine: %a@.applications:@." Topology.pp topo;
+  List.iter (fun g -> Fmt.pr "  %a@." Dataflow.Csdfg.pp_stats g) apps;
+  Fmt.pr "@.";
+
+  (match Cyclo.Partition.fused apps topo with
+  | Ok r -> Fmt.pr "fused:@.%a@.@." Cyclo.Partition.pp r
+  | Error e -> Fmt.pr "fused failed: %s@." e);
+  (match Cyclo.Partition.partitioned apps topo with
+  | Ok r ->
+      Fmt.pr "partitioned:@.%a@.@." Cyclo.Partition.pp r;
+      (* show one region's schedule and its generated C program size *)
+      (match r.Cyclo.Partition.placements with
+      | p :: _ ->
+          Fmt.pr "first region's schedule:@.%s@."
+            (Cyclo.Export.gantt p.Cyclo.Partition.schedule);
+          let c = Codegen.C_emitter.emit p.Cyclo.Partition.schedule in
+          Fmt.pr "generated C program: %d lines (try `ccsched export %s \
+                  -f c`)@."
+            (List.length (String.split_on_char '\n' c))
+            (Dataflow.Csdfg.name p.Cyclo.Partition.graph)
+      | [] -> ())
+  | Error e -> Fmt.pr "partitioned failed: %s@." e);
+
+  Fmt.pr "@.communication paid per iteration (lower is better):@.";
+  List.iter
+    (fun g ->
+      let best = (Cyclo.Compaction.run_on g topo).Cyclo.Compaction.best in
+      Fmt.pr "  %-12s comm %d (%d crossing edges, ratio %.2f)@."
+        (Dataflow.Csdfg.name g)
+        (Cyclo.Metrics.comm_cost_per_iteration best)
+        (Cyclo.Metrics.cross_edges best)
+        (Cyclo.Metrics.comm_ratio best))
+    apps

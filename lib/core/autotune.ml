@@ -1,0 +1,55 @@
+type entry = { mode : Remap.mode; scoring : Remap.scoring; length : int }
+
+type t = { best : Schedule.t; winner : entry; table : entry list }
+
+let configurations =
+  [
+    (Remap.With_relaxation, Remap.Pressure_first);
+    (Remap.With_relaxation, Remap.Earliest_step);
+    (Remap.Without_relaxation, Remap.Pressure_first);
+    (Remap.Without_relaxation, Remap.Earliest_step);
+  ]
+
+let run ?passes ?speeds ?(parallel = true) dfg comm =
+  let one (mode, scoring) =
+    let r =
+      Compaction.run ~mode ~scoring ?speeds ?passes ~validate:false dfg comm
+    in
+    let polished = Refine.polish r in
+    ((mode, scoring), polished)
+  in
+  let results =
+    if parallel then Parutil.Parallel.map one configurations
+    else List.map one configurations
+  in
+  let ranked =
+    List.sort
+      (fun (_, a) (_, b) -> compare (Schedule.length a) (Schedule.length b))
+      results
+  in
+  match ranked with
+  | [] -> assert false
+  | ((mode, scoring), best) :: _ ->
+      Validator.assert_legal best;
+      {
+        best;
+        winner = { mode; scoring; length = Schedule.length best };
+        table =
+          List.map
+            (fun ((mode, scoring), s) ->
+              { mode; scoring; length = Schedule.length s })
+            ranked;
+      }
+
+let run_on ?passes ?speeds ?parallel dfg topo =
+  run ?passes ?speeds ?parallel dfg (Comm.of_topology topo)
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>autotune winner: %a / %a at length %d@," Remap.pp_mode
+    t.winner.mode Remap.pp_scoring t.winner.scoring t.winner.length;
+  List.iter
+    (fun e ->
+      Fmt.pf ppf "  %a / %a -> %d@," Remap.pp_mode e.mode Remap.pp_scoring
+        e.scoring e.length)
+    t.table;
+  Fmt.pf ppf "@]"

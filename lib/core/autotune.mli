@@ -1,0 +1,43 @@
+(** Portfolio scheduling: run every configuration of the scheduler and
+    keep the best result.
+
+    Cyclo-compaction is a deterministic greedy process, so its two modes
+    (with/without relaxation) and two candidate scorings explore
+    different basins; occasionally one of the "weaker" configurations
+    lands shorter (see benches A8/E8).  A production user wants the min
+    over the portfolio — optionally computed in parallel over OCaml
+    domains, since the runs are independent. *)
+
+type entry = {
+  mode : Remap.mode;
+  scoring : Remap.scoring;
+  length : int;
+}
+
+type t = {
+  best : Schedule.t;
+  winner : entry;
+  table : entry list;  (** all configurations, shortest first *)
+}
+
+val run :
+  ?passes:int ->
+  ?speeds:int array ->
+  ?parallel:bool ->
+  Dataflow.Csdfg.t ->
+  Comm.t ->
+  t
+(** Runs the four (mode, scoring) configurations plus a local-search
+    polish on each winner candidate; [parallel] (default true) fans the
+    runs over domains.  Always at least as good as any single
+    configuration.  @raise Invalid_argument on an illegal CSDFG. *)
+
+val run_on :
+  ?passes:int ->
+  ?speeds:int array ->
+  ?parallel:bool ->
+  Dataflow.Csdfg.t ->
+  Topology.t ->
+  t
+
+val pp : Format.formatter -> t -> unit

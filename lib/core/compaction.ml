@@ -1,0 +1,129 @@
+module Csdfg = Dataflow.Csdfg
+
+type outcome = Compacted | Lateral | Expanded | Fell_back | Stuck
+
+let pp_outcome ppf = function
+  | Compacted -> Fmt.string ppf "compacted"
+  | Lateral -> Fmt.string ppf "lateral"
+  | Expanded -> Fmt.string ppf "expanded"
+  | Fell_back -> Fmt.string ppf "fell-back"
+  | Stuck -> Fmt.string ppf "stuck"
+
+type trace_entry = {
+  pass : int;
+  rotated : string list;
+  length : int;
+  outcome : outcome;
+}
+
+type result = {
+  startup : Schedule.t;
+  best : Schedule.t;
+  final : Schedule.t;
+  trace : trace_entry list;
+  converged : bool;
+}
+
+let default_passes n = max 16 (4 * n)
+
+let classify ~previous ~next outcome_hint =
+  match outcome_hint with
+  | Some o -> o
+  | None ->
+      if next < previous then Compacted
+      else if next = previous then Lateral
+      else Expanded
+
+let log_src = Logs.Src.create "cyclo.compaction" ~doc:"Cyclo-compaction passes"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let pass ?scoring mode sched =
+  let sched = Schedule.normalize sched in
+  let sched = Schedule.set_length sched (Timing.required_length sched) in
+  match Rotation.start sched with
+  | Error _ -> (sched, Stuck)
+  | Ok rot -> (
+      match Remap.run ?scoring mode rot with
+      | Remap.Remapped next ->
+          (next, classify ~previous:(Schedule.length sched)
+                   ~next:(Schedule.length next) None)
+      | Remap.Fallback next -> (next, Fell_back)
+      | Remap.Stuck -> (sched, Stuck))
+
+(* A state repeats when both the placement and the (retimed) delay
+   distribution repeat. *)
+let state_signature sched =
+  let dfg = Schedule.dfg sched in
+  let delays =
+    Csdfg.edges dfg
+    |> List.map (fun e -> string_of_int (Csdfg.delay e))
+    |> String.concat ","
+  in
+  Schedule.signature sched ^ "|" ^ delays
+
+let drive ~mode ?scoring ~budget ~validate startup =
+  let seen = Hashtbl.create 64 in
+  Hashtbl.add seen (state_signature startup) ();
+  let rec loop i sched best trace =
+    if i > budget then (sched, best, List.rev trace, false)
+    else begin
+      let rotated =
+        List.map (Csdfg.label (Schedule.dfg sched))
+          (Schedule.first_row (Schedule.normalize sched))
+      in
+      let next, outcome = pass ?scoring mode sched in
+      if validate then Validator.assert_legal next;
+      Log.debug (fun m ->
+          m "pass %d: rotate {%s} -> length %d (%a)" i
+            (String.concat " " rotated)
+            (Schedule.length next) pp_outcome outcome);
+      let entry = { pass = i; rotated; length = Schedule.length next; outcome } in
+      let best =
+        if Schedule.length next < Schedule.length best then next else best
+      in
+      let signature = state_signature next in
+      if outcome = Stuck || Hashtbl.mem seen signature then
+        (next, best, List.rev (entry :: trace), true)
+      else begin
+        Hashtbl.add seen signature ();
+        loop (i + 1) next best (entry :: trace)
+      end
+    end
+  in
+  let final, best, trace, converged = loop 1 startup startup [] in
+  { startup; best; final; trace; converged }
+
+let run ?(mode = Remap.With_relaxation) ?scoring ?speeds ?passes
+    ?(validate = true) dfg comm =
+  let startup = Startup.run ?speeds dfg comm in
+  if validate then Validator.assert_legal startup;
+  let budget =
+    match passes with
+    | Some p -> max 0 p
+    | None -> default_passes (Csdfg.n_nodes dfg)
+  in
+  drive ~mode ?scoring ~budget ~validate startup
+
+let resume ?(mode = Remap.With_relaxation) ?scoring ?passes ?(validate = true)
+    sched =
+  if validate then Validator.assert_legal sched;
+  let budget =
+    match passes with
+    | Some p -> max 0 p
+    | None -> default_passes (Csdfg.n_nodes (Schedule.dfg sched))
+  in
+  drive ~mode ?scoring ~budget ~validate sched
+
+let run_on ?mode ?scoring ?speeds ?passes ?validate dfg topo =
+  run ?mode ?scoring ?speeds ?passes ?validate dfg (Comm.of_topology topo)
+
+let pp_trace ppf trace =
+  Fmt.pf ppf "@[<v>";
+  List.iter
+    (fun e ->
+      Fmt.pf ppf "pass %-3d rotate {%s} -> length %-3d %a@," e.pass
+        (String.concat " " e.rotated)
+        e.length pp_outcome e.outcome)
+    trace;
+  Fmt.pf ppf "@]"

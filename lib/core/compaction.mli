@@ -1,0 +1,82 @@
+(** Cyclo-compaction scheduling (Algorithm Cyclo-Compact, paper §4).
+
+    Starting from the start-up schedule, each pass rotates the first row
+    (implicit retiming / loop pipelining) and remaps the rotated nodes
+    onto the best processors under the communication model.  The shortest
+    schedule seen across all passes is returned ([Q] in the paper).
+    Without relaxation the length is non-increasing pass over pass
+    (Theorem 4.4); with relaxation intermediate passes may grow the table
+    but often escape local minima the strict mode cannot. *)
+
+type outcome =
+  | Compacted  (** pass ended strictly shorter *)
+  | Lateral  (** same length, different placement *)
+  | Expanded  (** longer (with-relaxation only) *)
+  | Fell_back  (** remap rejected; pure rotation kept *)
+  | Stuck  (** pass undone; schedule unchanged *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+type trace_entry = {
+  pass : int;
+  rotated : string list;  (** labels of the rotated set J *)
+  length : int;  (** table length after the pass *)
+  outcome : outcome;
+}
+
+type result = {
+  startup : Schedule.t;  (** the §3 initial schedule *)
+  best : Schedule.t;  (** shortest schedule encountered *)
+  final : Schedule.t;  (** state after the last pass *)
+  trace : trace_entry list;  (** one entry per executed pass *)
+  converged : bool;  (** stopped on a repeated state, not the pass budget *)
+}
+
+val default_passes : int -> int
+(** The pass budget used when [?passes] is omitted: [max 16 (4 * n)]
+    passes for an [n]-node graph — each node is typically rotated through
+    the table a few times before the process cycles. *)
+
+val run :
+  ?mode:Remap.mode ->
+  ?scoring:Remap.scoring ->
+  ?speeds:int array ->
+  ?passes:int ->
+  ?validate:bool ->
+  Dataflow.Csdfg.t ->
+  Comm.t ->
+  result
+(** [mode] defaults to [With_relaxation] (the paper's better performer)
+    and [scoring] to [Pressure_first]; [validate] (default [true])
+    re-checks every intermediate schedule with {!Validator} and raises
+    [Failure] on any internal inconsistency.
+    @raise Invalid_argument when the CSDFG is illegal. *)
+
+val run_on :
+  ?mode:Remap.mode ->
+  ?scoring:Remap.scoring ->
+  ?speeds:int array ->
+  ?passes:int ->
+  ?validate:bool ->
+  Dataflow.Csdfg.t ->
+  Topology.t ->
+  result
+
+val resume :
+  ?mode:Remap.mode ->
+  ?scoring:Remap.scoring ->
+  ?passes:int ->
+  ?validate:bool ->
+  Schedule.t ->
+  result
+(** Continue cyclo-compaction from an existing (complete, legal)
+    schedule instead of a fresh start-up schedule — used when
+    interleaving with {!Refine} perturbations.  The result's [startup]
+    field holds the given schedule. *)
+
+val pass :
+  ?scoring:Remap.scoring -> Remap.mode -> Schedule.t -> Schedule.t * outcome
+(** One rotate-and-remap step (normalizes first); exposed for walkthrough
+    examples and property tests. *)
+
+val pp_trace : Format.formatter -> trace_entry list -> unit

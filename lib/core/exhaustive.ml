@@ -1,0 +1,114 @@
+module Csdfg = Dataflow.Csdfg
+module G = Digraph.Graph
+
+type outcome = Optimal of Schedule.t | Gave_up of Schedule.t option
+
+let ceil_div a b = (a + b - 1) / b
+
+let lower_bound dfg comm =
+  let np = Comm.n_processors comm in
+  let resource = ceil_div (Csdfg.total_time dfg) np in
+  let longest = Csdfg.max_time dfg in
+  let cyclic =
+    match Dataflow.Iteration_bound.exact_ceil dfg with
+    | Some b -> b
+    | None -> 1
+  in
+  max (max resource longest) cyclic
+
+exception Budget
+
+(* Feasibility of one table length by depth-first placement.  Nodes are
+   tried in zero-delay topological order so intra-iteration producers are
+   placed before consumers. *)
+let feasible ?speeds ~states ~max_states dfg comm ~length =
+  let order =
+    match Digraph.Topo.sort (Csdfg.zero_delay_graph dfg) with
+    | Some o -> o
+    | None -> invalid_arg "Exhaustive: illegal CSDFG"
+  in
+  let np = Comm.n_processors comm in
+  let edge_ok sched e =
+    (* exact rule at this length, only when both endpoints are known *)
+    if
+      Schedule.is_assigned sched e.G.src && Schedule.is_assigned sched e.G.dst
+    then begin
+      let m =
+        Comm.cost comm
+          ~src:(Schedule.pe sched e.G.src)
+          ~dst:(Schedule.pe sched e.G.dst)
+          ~volume:(Csdfg.volume e)
+      in
+      Schedule.cb sched e.G.dst + (Csdfg.delay e * length)
+      >= Schedule.ce sched e.G.src + m + 1
+    end
+    else true
+  in
+  let placement_ok sched v =
+    List.for_all (edge_ok sched) (Csdfg.pred dfg v)
+    && List.for_all (edge_ok sched) (Csdfg.succ dfg v)
+  in
+  let base = Schedule.set_length (Schedule.empty ?speeds dfg comm) length in
+  let rec place sched = function
+    | [] -> Some sched
+    | v :: rest ->
+        let try_slot pe cb =
+          incr states;
+          if !states > max_states then raise Budget;
+          if
+            Schedule.is_free sched ~pe ~cb
+              ~span:(Schedule.duration sched ~node:v ~pe)
+          then begin
+            let sched' = Schedule.assign sched ~node:v ~cb ~pe in
+            if placement_ok sched' v then place sched' rest else None
+          end
+          else None
+        in
+        let rec scan pe cb =
+          if pe >= np then None
+          else begin
+            let span = Schedule.duration base ~node:v ~pe in
+            if cb > length - span + 1 then scan (pe + 1) 1
+            else
+              match try_slot pe cb with
+              | Some _ as found -> found
+              | None -> scan pe (cb + 1)
+          end
+        in
+        scan 0 1
+  in
+  place base order
+
+let solve ?speeds ?(max_states = 2_000_000) ?max_length dfg comm =
+  (match Csdfg.validate dfg with
+  | Ok () -> ()
+  | Error _ -> invalid_arg "Exhaustive.solve: illegal CSDFG");
+  let ceiling =
+    match max_length with
+    | Some l -> l
+    | None -> Schedule.length (Startup.run ?speeds dfg comm)
+  in
+  let states = ref 0 in
+  let rec deepen length =
+    if length > ceiling then None
+    else
+      match feasible ?speeds ~states ~max_states dfg comm ~length with
+      | Some sched -> Some (Schedule.set_length sched length)
+      | None -> deepen (length + 1)
+  in
+  match deepen (lower_bound dfg comm) with
+  | Some sched -> Optimal sched
+  | None ->
+      (* the startup schedule itself is feasible at [ceiling] when the
+         default ceiling is used, so reaching here means an explicit
+         max_length excluded every length *)
+      Gave_up None
+  | exception Budget -> Gave_up None
+
+let optimality_gap sched =
+  match
+    solve ~speeds:(Schedule.speeds sched) (Schedule.dfg sched)
+      (Schedule.comm sched)
+  with
+  | Optimal opt -> Some (Schedule.length sched - Schedule.length opt)
+  | Gave_up _ -> None

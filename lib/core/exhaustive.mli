@@ -1,0 +1,32 @@
+(** Exact branch-and-bound scheduler for small instances.
+
+    Searches every (processor, control step) placement under the same
+    timing rules as the heuristics, via iterative deepening on the table
+    length.  Exponential — intended for graphs of up to ~8 nodes, where
+    it provides ground truth for measuring the optimality gap of
+    cyclo-compaction (bench A4). *)
+
+type outcome =
+  | Optimal of Schedule.t  (** provably minimum-length schedule *)
+  | Gave_up of Schedule.t option
+      (** state budget exhausted; carries the best schedule found *)
+
+val lower_bound : Dataflow.Csdfg.t -> Comm.t -> int
+(** [max] of the iteration bound, the resource bound
+    [ceil (total work / processors)] and the longest single task. *)
+
+val solve :
+  ?speeds:int array ->
+  ?max_states:int ->
+  ?max_length:int ->
+  Dataflow.Csdfg.t ->
+  Comm.t ->
+  outcome
+(** [max_states] bounds the total search nodes (default 2_000_000);
+    [max_length] bounds the deepening (default: the start-up schedule's
+    length, which is always feasible).
+    @raise Invalid_argument on an illegal CSDFG. *)
+
+val optimality_gap : Schedule.t -> int option
+(** [length - optimal length] for the schedule's graph and communication
+    model; [None] when the exact solver gave up. *)

@@ -1,0 +1,37 @@
+(** Schedule serialization: CSV / JSON for tooling, ASCII Gantt lanes for
+    terminals, SVG for papers. *)
+
+val to_csv : Schedule.t -> string
+(** A [# length=L] comment, a [node,label,cb,ce,pe] header, then one row
+    per assigned node — loadable again with {!of_csv}. *)
+
+val of_csv :
+  ?speeds:int array ->
+  Dataflow.Csdfg.t ->
+  Comm.t ->
+  string ->
+  (Schedule.t, string) result
+(** Rebuild a schedule from {!to_csv} output against the graph and
+    communication model it was produced for.  Unknown labels, malformed
+    rows, duplicate assignments, occupancy conflicts and lengths below
+    the legality threshold are reported as [Error]. *)
+
+val to_json : Schedule.t -> string
+(** Self-contained object: graph name, communication model, length, and
+    an assignment array. *)
+
+val gantt : Schedule.t -> string
+(** One lane per processor, one column per control step; multi-cycle
+    nodes drawn as [A====]. *)
+
+val gantt_unrolled : iterations:int -> Schedule.t -> string
+(** The same lanes over several consecutive iterations on the global
+    timeline ([iteration * L + CB]), with iteration boundaries marked —
+    the software pipeline made visible.
+    @raise Invalid_argument when [iterations < 1]. *)
+
+val to_svg : ?cell_width:int -> ?cell_height:int -> Schedule.t -> string
+(** Standalone SVG document of the schedule table. *)
+
+val write_file : path:string -> string -> unit
+(** Write any of the renderings to disk. *)

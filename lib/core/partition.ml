@@ -1,0 +1,192 @@
+module Csdfg = Dataflow.Csdfg
+module G = Digraph.Graph
+
+type placement = {
+  graph : Csdfg.t;
+  processors : int list;
+  schedule : Schedule.t;
+}
+
+type t = {
+  placements : placement list;
+  period : int;
+  total_comm : int;
+}
+
+(* Region sizes proportional to each application's computation, each at
+   least 1, summing exactly to the processor count. *)
+let region_sizes graphs np =
+  let works = List.map Csdfg.total_time graphs in
+  let total = max 1 (List.fold_left ( + ) 0 works) in
+  let base = List.map (fun w -> max 1 (w * np / total)) works in
+  let used = List.fold_left ( + ) 0 base in
+  (* distribute the remainder (positive or negative) by work, largest
+     first, never dropping a region below 1 *)
+  let order =
+    List.mapi (fun i w -> (w, i)) works
+    |> List.sort (fun a b -> compare (fst b) (fst a))
+    |> List.map snd
+  in
+  let sizes = Array.of_list base in
+  let rec adjust remaining idx_list =
+    if remaining = 0 then ()
+    else
+      match idx_list with
+      | [] -> adjust remaining order
+      | i :: rest ->
+          if remaining > 0 then begin
+            sizes.(i) <- sizes.(i) + 1;
+            adjust (remaining - 1) rest
+          end
+          else if sizes.(i) > 1 then begin
+            sizes.(i) <- sizes.(i) - 1;
+            adjust (remaining + 1) rest
+          end
+          else adjust remaining rest
+  in
+  adjust (np - used) order;
+  Array.to_list sizes
+
+(* Grow a connected region of the requested size inside the remaining
+   processors.  Seeding at the remaining processor with the fewest
+   remaining neighbours (a corner / leaf) keeps what is left behind
+   connected on the standard topologies. *)
+let carve topo remaining size =
+  let remaining_degree p =
+    List.fold_left
+      (fun acc (a, b) ->
+        if (a = p && List.mem b remaining) || (b = p && List.mem a remaining)
+        then acc + 1
+        else acc)
+      0 (Topology.links topo)
+  in
+  let seed_choice =
+    List.fold_left
+      (fun acc p ->
+        let d = remaining_degree p in
+        match acc with
+        | Some (_, best_d) when best_d <= d -> acc
+        | _ -> Some (p, d))
+      None remaining
+  in
+  match seed_choice with
+  | None -> None
+  | Some (seed, _) ->
+      let in_remaining = Hashtbl.create 8 in
+      List.iter (fun p -> Hashtbl.replace in_remaining p ()) remaining;
+      let taken = ref [] in
+      let seen = Hashtbl.create 8 in
+      let q = Queue.create () in
+      Queue.add seed q;
+      Hashtbl.replace seen seed ();
+      while not (Queue.is_empty q) && List.length !taken < size do
+        let p = Queue.pop q in
+        taken := p :: !taken;
+        List.iter
+          (fun (a, b) ->
+            let next = if a = p then Some b else if b = p then Some a else None in
+            match next with
+            | Some nb
+              when Hashtbl.mem in_remaining nb && not (Hashtbl.mem seen nb) ->
+                Hashtbl.replace seen nb ();
+                Queue.add nb q
+            | Some _ | None -> ())
+          (Topology.links topo)
+      done;
+      (* The planned size is advisory: on topologies that cannot be cut
+         into connected regions of these sizes (a star, say), take the
+         connected piece we found and leave the rest for later regions. *)
+      if !taken = [] then None else Some (List.rev !taken)
+
+let partitioned ?mode ?passes graphs topo =
+  let np = Topology.n_processors topo in
+  match graphs with
+  | [] -> Error "no applications to place"
+  | _ when List.length graphs > np ->
+      Error
+        (Printf.sprintf "%d applications but only %d processors"
+           (List.length graphs) np)
+  | _ -> (
+      let sizes = region_sizes graphs np in
+      (* carve the hardest (largest) regions first, then restore the
+         original application order *)
+      let indexed =
+        List.mapi (fun i s -> (i, s)) sizes
+        |> List.sort (fun (_, a) (_, b) -> compare b a)
+      in
+      let rec carve_all remaining = function
+        | [] -> Ok []
+        | (idx, size) :: rest -> (
+            match carve topo remaining size with
+            | None -> Error "could not form connected processor regions"
+            | Some region -> (
+                let remaining =
+                  List.filter (fun p -> not (List.mem p region)) remaining
+                in
+                match carve_all remaining rest with
+                | Ok tail -> Ok ((idx, region) :: tail)
+                | Error _ as e -> e))
+      in
+      match carve_all (List.init np Fun.id) indexed with
+      | Error e -> Error e
+      | Ok tagged_regions -> (
+          let regions = List.sort compare tagged_regions |> List.map snd in
+          match
+            List.map2
+              (fun g region ->
+                let sub = Topology.induced topo region in
+                let r = Compaction.run_on ?mode ?passes g sub in
+                {
+                  graph = g;
+                  processors = region;
+                  schedule = r.Compaction.best;
+                })
+              graphs regions
+          with
+          | placements ->
+              Ok
+                {
+                  placements;
+                  period =
+                    List.fold_left
+                      (fun acc p -> max acc (Schedule.length p.schedule))
+                      0 placements;
+                  total_comm =
+                    List.fold_left
+                      (fun acc p ->
+                        acc + Metrics.comm_cost_per_iteration p.schedule)
+                      0 placements;
+                }
+          | exception Invalid_argument msg -> Error msg))
+
+let fused ?mode ?passes graphs topo =
+  match graphs with
+  | [] -> Error "no applications to place"
+  | first :: rest ->
+      let union =
+        List.fold_left Dataflow.Transform.disjoint_union first rest
+      in
+      let r = Compaction.run_on ?mode ?passes union topo in
+      let shared = r.Compaction.best in
+      let all_pes = List.init (Topology.n_processors topo) Fun.id in
+      Ok
+        {
+          placements =
+            List.map
+              (fun g -> { graph = g; processors = all_pes; schedule = shared })
+              graphs;
+          period = Schedule.length shared;
+          total_comm = Metrics.comm_cost_per_iteration shared;
+        }
+
+let pp ppf r =
+  Fmt.pf ppf "@[<v>period %d, communication %d/iteration@," r.period
+    r.total_comm;
+  List.iter
+    (fun p ->
+      Fmt.pf ppf "  %-14s on {%s}: length %d@," (Csdfg.name p.graph)
+        (String.concat " "
+           (List.map (fun x -> string_of_int (x + 1)) p.processors))
+        (Schedule.length p.schedule))
+    r.placements;
+  Fmt.pf ppf "@]"

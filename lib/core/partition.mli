@@ -1,0 +1,53 @@
+(** Multi-application scheduling: share one machine between several
+    independent loop bodies.
+
+    Two strategies a system integrator would compare:
+
+    - {!fused}: take the disjoint union of the graphs and let
+      cyclo-compaction interleave them over the whole machine (one
+      shared table; the period is the common table length);
+    - {!partitioned}: split the processors into connected regions sized
+      by each application's share of the total work, and schedule each
+      application alone on its induced sub-machine (independent
+      periods, no interference).
+
+    Each strategy returns one schedule per application, over processor
+    ids of the {e original} machine. *)
+
+type placement = {
+  graph : Dataflow.Csdfg.t;
+  processors : int list;  (** original processor ids of the region *)
+  schedule : Schedule.t;  (** over the induced sub-machine *)
+}
+
+type t = {
+  placements : placement list;
+  period : int;  (** worst table length across applications *)
+  total_comm : int;  (** summed communication cost per iteration *)
+}
+
+val partitioned :
+  ?mode:Remap.mode ->
+  ?passes:int ->
+  Dataflow.Csdfg.t list ->
+  Topology.t ->
+  (t, string) result
+(** Greedy contiguous partition: each application receives a connected
+    region grown from the machine's periphery, sized proportionally to
+    its share of total computation (at least one processor each).  The
+    planned sizes are advisory — on topologies that cannot be cut into
+    connected regions of those sizes (e.g. a star) regions shrink and
+    some processors may go unused.  [Error] when there are more
+    applications than processors or no applications. *)
+
+val fused :
+  ?mode:Remap.mode ->
+  ?passes:int ->
+  Dataflow.Csdfg.t list ->
+  Topology.t ->
+  (t, string) result
+(** One schedule of the disjoint union over the full machine; each
+    placement reports the nodes of its own application (the shared
+    schedule is duplicated across placements). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,90 @@
+module Csdfg = Dataflow.Csdfg
+
+type instruction = { node : int; iteration : int }
+
+type t = {
+  retiming : Dataflow.Retiming.r;
+  depth : int;
+  prologue : instruction list;
+  epilogue_per_n : int -> instruction list;
+  kernel : Schedule.t;
+}
+
+let instructions_ordered instrs =
+  List.sort
+    (fun a b ->
+      match compare a.iteration b.iteration with
+      | 0 -> compare a.node b.node
+      | c -> c)
+    instrs
+
+let build ~original kernel =
+  let retimed = Schedule.dfg kernel in
+  match Dataflow.Retiming.infer ~original ~retimed with
+  | None -> Error "kernel graph is not a retiming of the original CSDFG"
+  | Some r ->
+      let depth = Array.fold_left max 0 r in
+      (* Node v's kernel instance i computes original iteration i + r v,
+         so original iterations 0 .. r v - 1 of v belong to the
+         prologue. *)
+      let prologue =
+        List.concat_map
+          (fun v -> List.init r.(v) (fun iteration -> { node = v; iteration }))
+          (Csdfg.nodes original)
+        |> instructions_ordered
+      in
+      let epilogue_per_n n =
+        if n < depth then
+          (* Degenerate: fewer iterations than the pipeline depth; the
+             whole loop is prologue + epilogue. *)
+          List.concat_map
+            (fun v ->
+              List.init
+                (max 0 (n - r.(v)))
+                (fun k -> { node = v; iteration = r.(v) + k }))
+            (Csdfg.nodes original)
+          |> instructions_ordered
+        else
+          List.concat_map
+            (fun v ->
+              List.init
+                (depth - r.(v))
+                (fun k -> { node = v; iteration = n - depth + r.(v) + k }))
+            (Csdfg.nodes original)
+          |> instructions_ordered
+      in
+      Ok { retiming = r; depth; prologue; epilogue_per_n; kernel }
+
+let prologue_length t = List.length t.prologue
+let epilogue_length t ~n = List.length (t.epilogue_per_n n)
+
+let overhead_ratio t ~n =
+  let dfg = Schedule.dfg t.kernel in
+  let work instrs =
+    List.fold_left (fun acc i -> acc + Csdfg.time dfg i.node) 0 instrs
+  in
+  let total = n * Csdfg.total_time dfg in
+  if total = 0 then 0.
+  else
+    float_of_int (work t.prologue + work (t.epilogue_per_n n))
+    /. float_of_int total
+
+let total_time t ~n =
+  let dfg = Schedule.dfg t.kernel in
+  let work instrs =
+    List.fold_left (fun acc i -> acc + Csdfg.time dfg i.node) 0 instrs
+  in
+  let kernel_reps = max 0 (n - t.depth) in
+  work t.prologue
+  + (kernel_reps * Schedule.length t.kernel)
+  + work (t.epilogue_per_n n)
+
+let pp dfg ppf t =
+  Fmt.pf ppf "@[<v>pipeline depth %d, prologue %d instruction(s)@," t.depth
+    (prologue_length t);
+  List.iter
+    (fun i ->
+      Fmt.pf ppf "  prologue: %s of iteration %d@," (Csdfg.label dfg i.node)
+        i.iteration)
+    t.prologue;
+  Fmt.pf ppf "@]"

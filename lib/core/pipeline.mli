@@ -1,0 +1,47 @@
+(** Prologue / epilogue generation for pipelined loops (paper §2).
+
+    Cyclo-compaction implicitly retimes the loop: in the compacted
+    kernel, node [v] of kernel iteration [i] computes original iteration
+    [i + r v] where [r] is the cumulative retiming.  Executing the loop
+    therefore needs a {e prologue} (the instructions of original
+    iterations that the first kernel iteration assumes already done) and
+    an {e epilogue} (the instructions the last kernel iterations leave
+    unfinished).  The paper treats their cost as negligible; this module
+    makes them explicit so that claim can be measured. *)
+
+type instruction = {
+  node : int;  (** node id in the original CSDFG *)
+  iteration : int;  (** original loop iteration the instance computes *)
+}
+
+type t = {
+  retiming : Dataflow.Retiming.r;  (** cumulative, component-normalized *)
+  depth : int;  (** max retiming = pipeline depth in iterations *)
+  prologue : instruction list;  (** ordered by iteration, then node *)
+  epilogue_per_n : int -> instruction list;
+      (** epilogue for a total loop count [n] *)
+  kernel : Schedule.t;
+}
+
+val build : original:Dataflow.Csdfg.t -> Schedule.t -> (t, string) result
+(** [build ~original kernel] recovers the retiming between [original]
+    and the kernel's (retimed) graph.  [Error] when the kernel's graph is
+    not a retiming of [original] (different graph or corrupted delays). *)
+
+val prologue_length : t -> int
+(** Number of prologue instructions ([sum r]). *)
+
+val epilogue_length : t -> n:int -> int
+(** Number of epilogue instructions for [n] total iterations. *)
+
+val overhead_ratio : t -> n:int -> float
+(** (prologue + epilogue work) / (total work over [n] iterations) — the
+    quantity the paper assumes is negligible for large [n]. *)
+
+val total_time : t -> n:int -> int
+(** Wall-clock control steps to run [n] iterations: sequential prologue
+    and epilogue around [n - depth] kernel repetitions (a conservative
+    upper bound; prologue instructions are counted at their computation
+    time with no overlap). *)
+
+val pp : Dataflow.Csdfg.t -> Format.formatter -> t -> unit

@@ -1,0 +1,76 @@
+module Csdfg = Dataflow.Csdfg
+module G = Digraph.Graph
+
+type strategy = Pf | Static_level | Mobility_only | Fifo
+
+let pp_strategy ppf = function
+  | Pf -> Fmt.string ppf "pf"
+  | Static_level -> Fmt.string ppf "static-level"
+  | Mobility_only -> Fmt.string ppf "mobility"
+  | Fifo -> Fmt.string ppf "fifo"
+
+type t = {
+  dfg : Csdfg.t;
+  analysis : Dataflow.Analysis.t;
+  levels : int array;
+}
+
+(* Static level: longest zero-delay path starting at each node,
+   including its own time — computed backwards over a topological
+   order. *)
+let compute_levels dfg =
+  let dag = Csdfg.zero_delay_graph dfg in
+  let order =
+    match Digraph.Topo.sort dag with
+    | Some o -> o
+    | None -> invalid_arg "Priority.create: zero-delay subgraph is cyclic"
+  in
+  let levels = Array.make (Csdfg.n_nodes dfg) 0 in
+  List.iter
+    (fun v ->
+      let best_succ =
+        List.fold_left
+          (fun acc e -> max acc levels.(e.G.dst))
+          0 (G.succ dag v)
+      in
+      levels.(v) <- Csdfg.time dfg v + best_succ)
+    (List.rev order);
+  levels
+
+let create dfg =
+  {
+    dfg;
+    analysis = Dataflow.Analysis.compute dfg;
+    levels = compute_levels dfg;
+  }
+
+let analysis t = t.analysis
+let mobility t v = Dataflow.Analysis.mobility t.analysis v
+let static_level t v = t.levels.(v)
+
+let pf t sched ~cs v =
+  let from_edge acc (e : Csdfg.attr G.edge) =
+    if Csdfg.delay e <> 0 || not (Schedule.is_assigned sched e.G.src) then acc
+    else begin
+      let m = Csdfg.volume e in
+      let waited = cs - (Schedule.ce sched e.G.src + 1) in
+      max acc (Some (m - waited - mobility t v))
+    end
+  in
+  match List.fold_left from_edge None (Csdfg.pred t.dfg v) with
+  | Some p -> p
+  | None -> -mobility t v
+
+let score strategy t sched ~cs v =
+  match strategy with
+  | Pf -> pf t sched ~cs v
+  | Static_level -> static_level t v
+  | Mobility_only -> -mobility t v
+  | Fifo -> -v
+
+let sort_ready ?(strategy = Pf) t sched ~cs ready =
+  let keyed = List.map (fun v -> (score strategy t sched ~cs v, v)) ready in
+  keyed
+  |> List.stable_sort (fun (pa, va) (pb, vb) ->
+         match compare pb pa with 0 -> compare va vb | c -> c)
+  |> List.map snd

@@ -1,0 +1,44 @@
+(** The start-up scheduler's priority function (Definitions 3.4 and 3.6).
+
+    [PF v = max over zero-delay in-edges (u -m-> v) of
+      m - (cs_cur - (CE u + 1)) - MB v]
+
+    — data volume boosted the longer the producer has been done, reduced
+    by the node's mobility.  Nodes with no scheduled zero-delay
+    predecessor fall back to [-MB v]. *)
+
+type t
+
+(** Ready-list ordering strategies.  The paper's is {!Pf}; the others are
+    classical list-scheduling priorities kept for comparison (bench
+    A11). *)
+type strategy =
+  | Pf  (** Definition 3.6 (default) *)
+  | Static_level
+      (** HLFET: longest zero-delay path (node times included) from the
+          node to any sink — larger level first *)
+  | Mobility_only  (** least ALAP slack first, ignoring volumes *)
+  | Fifo  (** arrival order (node id) — the weakest sensible baseline *)
+
+val pp_strategy : Format.formatter -> strategy -> unit
+
+val create : Dataflow.Csdfg.t -> t
+(** Precomputes ASAP/ALAP and static levels on the zero-delay sub-DAG. *)
+
+val static_level : t -> int -> int
+(** Longest zero-delay path starting at the node, including its own
+    computation time. *)
+
+val analysis : t -> Dataflow.Analysis.t
+
+val mobility : t -> int -> int
+(** [MB] — ALAP slack on the zero-delay sub-DAG (Definition 3.4). *)
+
+val pf : t -> Schedule.t -> cs:int -> int -> int
+(** [pf t sched ~cs v] — the priority of ready node [v] when control step
+    [cs] is being filled. *)
+
+val sort_ready :
+  ?strategy:strategy -> t -> Schedule.t -> cs:int -> int list -> int list
+(** Descending priority under the strategy (default {!Pf}); ties broken
+    by ascending node id for determinism. *)

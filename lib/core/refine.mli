@@ -1,0 +1,48 @@
+(** Stochastic local search on top of cyclo-compaction.
+
+    Rotation only ever moves the schedule's first row; once the driver
+    reaches a fixed cycle, profitable single-node moves elsewhere in the
+    table can remain.  This pass perturbs the schedule directly: pick a
+    node at random, move it to the best slot elsewhere (or swap
+    tie-breaks), accept when the required table length does not increase,
+    and keep the shortest schedule seen.  Deterministic for a fixed
+    seed; every accepted state is validator-legal by construction of the
+    move generator and re-checked when [validate] is set. *)
+
+type result = {
+  initial : Schedule.t;
+  best : Schedule.t;
+  moves_tried : int;
+  moves_accepted : int;
+  improvements : int;  (** accepted moves that strictly shortened the table *)
+}
+
+val run :
+  ?seed:int ->
+  ?moves:int ->
+  ?validate:bool ->
+  Schedule.t ->
+  result
+(** [moves] defaults to [50 * n] for an [n]-node schedule; [seed]
+    defaults to 0; [validate] (default true) re-checks every accepted
+    schedule.  @raise Invalid_argument when the schedule is incomplete. *)
+
+val polish :
+  ?seed:int -> ?moves:int -> Compaction.result -> Schedule.t
+(** Convenience: refine a compaction result's best schedule and return
+    the shorter of the two. *)
+
+val alternate :
+  ?mode:Remap.mode ->
+  ?scoring:Remap.scoring ->
+  ?seed:int ->
+  ?rounds:int ->
+  ?validate:bool ->
+  Dataflow.Csdfg.t ->
+  Comm.t ->
+  Schedule.t
+(** Alternate full cyclo-compaction with local-search perturbation for
+    up to [rounds] (default 4) rounds, keeping the shortest schedule
+    seen.  The lateral moves refinement accepts change the rotation
+    driver's state space, often escaping cycles plain compaction
+    converges into.  Never worse than {!Compaction.run} alone. *)

@@ -1,0 +1,44 @@
+(** The remapping phase (Definition 4.2, Lemma 4.2).
+
+    Rotated nodes are re-placed one at a time.  For each node and each
+    processor the earliest admissible step is
+    [max (AN, first idle slot)]; the candidate with the smallest step
+    wins (ties: least added communication, then lowest processor id) —
+    the paper's "minimum value returned from the anticipation function,
+    else the next-minimum-available processor".
+
+    {b Without relaxation} searches only slots finishing within the
+    previous length and accepts the result only if its required length
+    does not exceed it (Theorem 4.4's guarantee); otherwise the caller
+    falls back to the pure rotation.  {b With relaxation} always places
+    and accepts, padding the table to the projected schedule length. *)
+
+type mode = Without_relaxation | With_relaxation
+
+val pp_mode : Format.formatter -> mode -> unit
+
+(** How candidate (processor, step) slots are ranked. *)
+type scoring =
+  | Pressure_first
+      (** minimise the table length the placement forces — occupied rows
+          plus the worst projected schedule length over the node's
+          delayed edges — then the step, then added communication
+          (default; see DESIGN.md) *)
+  | Earliest_step
+      (** the literal reading of the paper: minimise the control step,
+          then added communication *)
+
+val pp_scoring : Format.formatter -> scoring -> unit
+
+type outcome =
+  | Remapped of Schedule.t  (** accepted remap, already PSL-padded *)
+  | Fallback of Schedule.t  (** pure rotation retained (without relaxation) *)
+  | Stuck
+      (** even the fallback grows the table (multi-cycle overhang);
+          the pass must be undone *)
+
+val run : ?scoring:scoring -> mode -> Rotation.t -> outcome
+
+val place_order : Rotation.t -> int list
+(** The deterministic order nodes are re-placed in: original processor,
+    then node id. *)

@@ -1,0 +1,45 @@
+module Csdfg = Dataflow.Csdfg
+
+type t = {
+  rotated : int list;
+  previous_length : int;
+  base : Schedule.t;
+  fallback : (int * Schedule.entry) list;
+}
+
+let start sched =
+  let dfg = Schedule.dfg sched in
+  if Schedule.n_assigned sched = 0 then Error "empty schedule"
+  else begin
+    match Schedule.first_row sched with
+    | [] -> Error "no node starts at row 1 (schedule not normalized)"
+    | rotated ->
+        if not (Dataflow.Retiming.can_rotate dfg rotated) then
+          Error "rotation would create a negative delay (illegal schedule?)"
+        else begin
+          let previous_length = Schedule.length sched in
+          let retimed = Dataflow.Retiming.rotate_set dfg rotated in
+          let fallback =
+            List.map
+              (fun v ->
+                ( v,
+                  { Schedule.cb = previous_length; pe = Schedule.pe sched v } ))
+              rotated
+          in
+          let base =
+            Schedule.unassign_all sched rotated
+            |> Schedule.shift_up
+            |> fun s -> Schedule.with_dfg s retimed
+          in
+          Ok { rotated; previous_length; base; fallback }
+        end
+  end
+
+let apply_fallback t =
+  let sched =
+    List.fold_left
+      (fun s (v, { Schedule.cb; pe }) -> Schedule.assign s ~node:v ~cb ~pe)
+      t.base t.fallback
+  in
+  Schedule.set_length sched
+    (max (Timing.required_length sched) (Schedule.rows_needed sched))

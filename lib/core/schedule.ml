@@ -1,0 +1,247 @@
+module Csdfg = Dataflow.Csdfg
+
+type entry = { cb : int; pe : int }
+
+type t = {
+  dfg : Csdfg.t;
+  comm : Comm.t;
+  speeds : int array;  (* per-processor cycle-time multiplier, >= 1 *)
+  entries : entry option array;
+  length : int;
+}
+
+let empty ?speeds dfg comm =
+  let np = Comm.n_processors comm in
+  let speeds =
+    match speeds with
+    | None -> Array.make np 1
+    | Some s ->
+        if Array.length s <> np then
+          invalid_arg "Schedule.empty: speeds size differs from processors";
+        Array.iter
+          (fun x ->
+            if x <= 0 then invalid_arg "Schedule.empty: non-positive speed")
+          s;
+        Array.copy s
+  in
+  { dfg; comm; speeds; entries = Array.make (Csdfg.n_nodes dfg) None;
+    length = 0 }
+
+let speeds t = Array.copy t.speeds
+let is_heterogeneous t = Array.exists (fun s -> s <> t.speeds.(0)) t.speeds
+
+let duration t ~node ~pe =
+  if node < 0 || node >= Csdfg.n_nodes t.dfg then
+    invalid_arg "Schedule.duration: node out of range";
+  if pe < 0 || pe >= Array.length t.speeds then
+    invalid_arg "Schedule.duration: processor out of range";
+  Csdfg.time t.dfg node * t.speeds.(pe)
+
+let dfg t = t.dfg
+let comm t = t.comm
+let length t = t.length
+let n_processors t = Comm.n_processors t.comm
+
+let entry t v =
+  if v < 0 || v >= Array.length t.entries then
+    invalid_arg "Schedule.entry: node out of range";
+  t.entries.(v)
+
+let is_assigned t v = entry t v <> None
+let assigned_all t = Array.for_all Option.is_some t.entries
+
+let n_assigned t =
+  Array.fold_left (fun acc -> function Some _ -> acc + 1 | None -> acc) 0 t.entries
+
+let get_exn t v ctx =
+  match entry t v with
+  | Some e -> e
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Schedule.%s: node %s is not assigned" ctx
+           (Csdfg.label t.dfg v))
+
+let cb t v = (get_exn t v "cb").cb
+let pe t v = (get_exn t v "pe").pe
+
+let span t v (e : entry) = Csdfg.time t.dfg v * t.speeds.(e.pe)
+let ce t v =
+  let e = get_exn t v "ce" in
+  e.cb + span t v e - 1
+
+let rows_needed t =
+  let acc = ref 0 in
+  Array.iteri
+    (fun v -> function
+      | Some e -> acc := max !acc (e.cb + span t v e - 1)
+      | None -> ())
+    t.entries;
+  !acc
+
+let set_length t len =
+  if len < rows_needed t then
+    invalid_arg "Schedule.set_length: shorter than occupied rows";
+  { t with length = len }
+
+let node_at t ~pe ~cs =
+  let hit = ref None in
+  Array.iteri
+    (fun v -> function
+      | Some e when e.pe = pe && e.cb <= cs && cs <= e.cb + span t v e - 1 ->
+          hit := Some v
+      | Some _ | None -> ())
+    t.entries;
+  !hit
+
+let is_free t ~pe ~cb ~span:width =
+  let busy = ref false in
+  Array.iteri
+    (fun v -> function
+      | Some e when e.pe = pe ->
+          let lo = e.cb and hi = e.cb + span t v e - 1 in
+          if not (hi < cb || lo > cb + width - 1) then busy := true
+      | Some _ | None -> ())
+    t.entries;
+  not !busy
+
+let assign t ~node ~cb ~pe =
+  if cb < 1 then invalid_arg "Schedule.assign: control steps start at 1";
+  if pe < 0 || pe >= n_processors t then
+    invalid_arg "Schedule.assign: processor out of range";
+  if is_assigned t node then
+    invalid_arg
+      (Printf.sprintf "Schedule.assign: node %s already assigned"
+         (Csdfg.label t.dfg node));
+  let span = duration t ~node ~pe in
+  if not (is_free t ~pe ~cb ~span) then
+    invalid_arg
+      (Printf.sprintf "Schedule.assign: slot pe%d cs%d..%d is occupied" (pe + 1)
+         cb (cb + span - 1));
+  let entries = Array.copy t.entries in
+  entries.(node) <- Some { cb; pe };
+  { t with entries; length = max t.length (cb + span - 1) }
+
+let unassign t node =
+  ignore (get_exn t node "unassign");
+  let entries = Array.copy t.entries in
+  entries.(node) <- None;
+  { t with entries }
+
+let unassign_all t nodes = List.fold_left unassign t nodes
+
+let with_dfg t dfg' =
+  let same =
+    Csdfg.n_nodes dfg' = Csdfg.n_nodes t.dfg
+    && List.for_all
+         (fun v ->
+           Csdfg.label dfg' v = Csdfg.label t.dfg v
+           && Csdfg.time dfg' v = Csdfg.time t.dfg v)
+         (Csdfg.nodes t.dfg)
+  in
+  if not same then
+    invalid_arg "Schedule.with_dfg: node set differs from the scheduled graph";
+  { t with dfg = dfg' }
+
+let with_comm t comm =
+  if Comm.n_processors comm <> Comm.n_processors t.comm then
+    invalid_arg "Schedule.with_comm: processor count differs";
+  { t with comm }
+
+let first_free_slot t ~pe ~from ~span:width =
+  let from = max 1 from in
+  (* Collect this processor's busy intervals and scan forward. *)
+  let busy = ref [] in
+  Array.iteri
+    (fun v -> function
+      | Some e when e.pe = pe -> busy := (e.cb, e.cb + span t v e - 1) :: !busy
+      | Some _ | None -> ())
+    t.entries;
+  let busy = List.sort compare !busy in
+  let rec scan cs = function
+    | [] -> cs
+    | (lo, hi) :: rest ->
+        if hi < cs then scan cs rest
+        else if lo > cs + width - 1 then cs
+        else scan (hi + 1) rest
+  in
+  scan from busy
+
+let first_row t =
+  let acc = ref [] in
+  Array.iteri
+    (fun v -> function Some e when e.cb = 1 -> acc := v :: !acc | _ -> ())
+    t.entries;
+  List.rev !acc
+
+let shift_up t =
+  Array.iteri
+    (fun v -> function
+      | Some e when e.cb = 1 ->
+          invalid_arg
+            (Printf.sprintf "Schedule.shift_up: node %s starts at row 1"
+               (Csdfg.label t.dfg v))
+      | Some _ | None -> ())
+    t.entries;
+  let entries =
+    Array.map (Option.map (fun e -> { e with cb = e.cb - 1 })) t.entries
+  in
+  { t with entries; length = max 0 (t.length - 1) }
+
+let normalize t =
+  let rec settle t =
+    if n_assigned t > 0 && first_row t = [] then settle (shift_up t) else t
+  in
+  let t = settle t in
+  let rows = rows_needed t in
+  if t.length > rows && rows > 0 then { t with length = rows } else t
+
+let compare_assignments a b =
+  let key t =
+    ( t.length,
+      Array.to_list
+        (Array.map (function None -> (-1, -1) | Some e -> (e.cb, e.pe)) t.entries)
+    )
+  in
+  compare (key a) (key b)
+
+let signature t =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (string_of_int t.length);
+  Array.iter
+    (function
+      | None -> Buffer.add_string buf ";_"
+      | Some e -> Buffer.add_string buf (Printf.sprintf ";%d@%d" e.cb e.pe))
+    t.entries;
+  Buffer.contents buf
+
+let pp ppf t =
+  let np = n_processors t in
+  let len = max t.length (rows_needed t) in
+  let cell cs p =
+    match node_at t ~pe:p ~cs with
+    | Some v -> Csdfg.label t.dfg v
+    | None -> ""
+  in
+  let width =
+    let w = ref 3 in
+    List.iter (fun v -> w := max !w (String.length (Csdfg.label t.dfg v)))
+      (Csdfg.nodes t.dfg);
+    !w + 1
+  in
+  Fmt.pf ppf "@[<v>";
+  Fmt.pf ppf "cs  ";
+  for p = 0 to np - 1 do
+    Fmt.pf ppf "%-*s" width (Printf.sprintf "pe%d" (p + 1))
+  done;
+  for cs = 1 to len do
+    Fmt.pf ppf "@,%-4d" cs;
+    for p = 0 to np - 1 do
+      Fmt.pf ppf "%-*s" width (cell cs p)
+    done
+  done;
+  Fmt.pf ppf "@]"
+
+let pp_compact ppf t =
+  Fmt.pf ppf "%s on %s: length %d (%d/%d nodes assigned)"
+    (Csdfg.name t.dfg) (Comm.name t.comm) t.length (n_assigned t)
+    (Csdfg.n_nodes t.dfg)

@@ -1,0 +1,113 @@
+(** Static cyclic schedule tables.
+
+    A schedule assigns each node a starting control step [CB >= 1]
+    (Definition 3.1) and a processor [PE] (Definition 3.3), inside a table
+    of [length] control steps that repeats every iteration.  A node [v]
+    occupies processor [PE v] during [CB v .. CE v] where
+    [CE v = CB v + t v - 1] (Definition 3.2).
+
+    The table [length] can exceed the last occupied row: trailing idle
+    steps are how the projected-schedule-length constraint (Lemma 4.3) is
+    honoured. *)
+
+type entry = { cb : int; pe : int }
+
+type t
+
+val empty : ?speeds:int array -> Dataflow.Csdfg.t -> Comm.t -> t
+(** No assignments, length 0.  [speeds] (default all 1) gives each
+    processor a cycle-time multiplier: node [v] on processor [p] runs
+    for [time v * speeds.(p)] control steps — heterogeneous machines.
+    @raise Invalid_argument when the array size differs from the
+    processor count or a speed is non-positive. *)
+
+val speeds : t -> int array
+(** Per-processor cycle-time multipliers (a copy). *)
+
+val is_heterogeneous : t -> bool
+
+val duration : t -> node:int -> pe:int -> int
+(** Execution time of a node on a given processor:
+    [time node * speeds.(pe)]. *)
+
+val dfg : t -> Dataflow.Csdfg.t
+val comm : t -> Comm.t
+val length : t -> int
+val n_processors : t -> int
+
+val set_length : t -> int -> t
+(** @raise Invalid_argument when shorter than {!rows_needed}. *)
+
+val entry : t -> int -> entry option
+val is_assigned : t -> int -> bool
+val assigned_all : t -> bool
+val n_assigned : t -> int
+
+val cb : t -> int -> int
+(** @raise Invalid_argument when the node is unassigned. *)
+
+val ce : t -> int -> int
+(** [cb + duration - 1] on the assigned processor.
+    @raise Invalid_argument when unassigned. *)
+
+val pe : t -> int -> int
+(** @raise Invalid_argument when the node is unassigned. *)
+
+val assign : t -> node:int -> cb:int -> pe:int -> t
+(** Table length grows to cover the node; the occupied span is the
+    node's {!duration} on that processor.
+    @raise Invalid_argument when [cb < 1], the processor is out of range,
+    the node is already assigned, or the slot overlaps another node. *)
+
+val unassign : t -> int -> t
+
+val unassign_all : t -> int list -> t
+
+val with_dfg : t -> Dataflow.Csdfg.t -> t
+(** Swap in a retimed variant of the same graph (used by rotation).
+    @raise Invalid_argument when node count, labels or times differ. *)
+
+val with_comm : t -> Comm.t -> t
+(** Re-cost the same placements under a different communication model
+    (e.g. evaluate a store-and-forward schedule under wormhole costs).
+    The result may need a different {!val-length}; re-check with
+    [Timing.required_length] / the validator.
+    @raise Invalid_argument when the processor count differs. *)
+
+val is_free : t -> pe:int -> cb:int -> span:int -> bool
+(** Whether processor [pe] is idle during [cb .. cb + span - 1]. *)
+
+val node_at : t -> pe:int -> cs:int -> int option
+(** The node occupying a cell, if any. *)
+
+val first_free_slot : t -> pe:int -> from:int -> span:int -> int
+(** Earliest [cs >= from] such that the span fits on the processor. *)
+
+val first_row : t -> int list
+(** Nodes with [CB = 1], ascending (the rotation set [J], Definition 4.1). *)
+
+val rows_needed : t -> int
+(** Largest [CE] over assigned nodes; 0 when nothing is assigned. *)
+
+val shift_up : t -> t
+(** Subtract one from every [CB]; length decreases by one.
+    @raise Invalid_argument when some node starts at row 1. *)
+
+val normalize : t -> t
+(** Shift up while row 1 is unoccupied (uniform shifts never change
+    schedule semantics), and clamp [length] down to {!rows_needed} when it
+    exceeds it needlessly — callers re-pad via PSL afterwards. *)
+
+val compare_assignments : t -> t -> int
+(** Order on (length, entries) — detects fixed points across passes. *)
+
+val signature : t -> string
+(** Compact canonical string of (length, entries); equal iff
+    {!compare_assignments} = 0. *)
+
+val pp : Format.formatter -> t -> unit
+(** Paper-style table: one row per control step, one column per
+    processor, multi-cycle nodes repeated in each occupied row. *)
+
+val pp_compact : Format.formatter -> t -> unit
+(** One line: name, length, assignment summary. *)

@@ -1,0 +1,106 @@
+module Csdfg = Dataflow.Csdfg
+module G = Digraph.Graph
+
+(* Data-arrival bound for [v] on processor [p] at the current schedule:
+   the last control step occupied by a predecessor's data in flight.
+   [v] may start at any step strictly greater. *)
+let arrival_bound dfg comm sched v p =
+  let from_edge acc (e : Csdfg.attr G.edge) =
+    if Csdfg.delay e <> 0 then acc
+    else begin
+      let u = e.G.src in
+      let m =
+        Comm.cost comm ~src:(Schedule.pe sched u) ~dst:p ~volume:(Csdfg.volume e)
+      in
+      max acc (Schedule.ce sched u + m)
+    end
+  in
+  List.fold_left from_edge 0 (Csdfg.pred dfg v)
+
+let run ?(priority_strategy = Priority.Pf) ?speeds dfg comm =
+  (match Csdfg.validate dfg with
+  | Ok () -> ()
+  | Error _ -> invalid_arg "Startup.run: illegal CSDFG");
+  let priority = Priority.create dfg in
+  let dag = Csdfg.zero_delay_graph dfg in
+  let n = Csdfg.n_nodes dfg in
+  let np = Comm.n_processors comm in
+  let remaining_preds = Array.init n (G.in_degree dag) in
+  let in_list = Array.make n false in
+  let ready = ref [] in
+  (* Nodes becoming ready while the current step is being filled join the
+     list only on the next step, like the paper's dlist. *)
+  let pending = ref [] in
+  let promote v =
+    if remaining_preds.(v) = 0 && not in_list.(v) then begin
+      in_list.(v) <- true;
+      pending := v :: !pending
+    end
+  in
+  List.iter promote (Csdfg.nodes dfg);
+  let sched = ref (Schedule.empty ?speeds dfg comm) in
+  let unscheduled = ref n in
+  let cs = ref 1 in
+  (* Any node can always run at [last CE + diameter-cost + 1] on some
+     processor, so the sweep terminates well before this bound. *)
+  let max_volume =
+    List.fold_left (fun acc e -> max acc (Csdfg.volume e)) 1 (Csdfg.edges dfg)
+  in
+  let max_hops =
+    let worst = ref 0 in
+    for p = 0 to np - 1 do
+      for q = 0 to np - 1 do
+        worst := max !worst (Comm.cost comm ~src:p ~dst:q ~volume:1)
+      done
+    done;
+    !worst
+  in
+  let max_speed =
+    match speeds with
+    | None -> 1
+    | Some s -> Array.fold_left max 1 s
+  in
+  let fuel =
+    (Csdfg.total_time dfg * max_speed * (1 + (max_hops * max_volume))) + n + 1
+  in
+  while !unscheduled > 0 do
+    if !cs > fuel then
+      invalid_arg "Startup.run: scheduling did not converge (internal error)";
+    ready := List.rev_append !pending !ready;
+    pending := [];
+    let order =
+      Priority.sort_ready ~strategy:priority_strategy priority !sched ~cs:!cs
+        !ready
+    in
+    let place v =
+      let feasible p =
+        arrival_bound dfg comm !sched v p < !cs
+        && Schedule.is_free !sched ~pe:p ~cb:!cs
+             ~span:(Schedule.duration !sched ~node:v ~pe:p)
+      in
+      let candidates =
+        List.filter feasible (List.init np Fun.id)
+        |> List.map (fun p -> (arrival_bound dfg comm !sched v p, p))
+        |> List.sort compare
+      in
+      match candidates with
+      | [] -> true (* keep in ready list *)
+      | (_, p) :: _ ->
+          sched := Schedule.assign !sched ~node:v ~cb:!cs ~pe:p;
+          decr unscheduled;
+          let release (e : Csdfg.attr G.edge) =
+            let w = e.G.dst in
+            remaining_preds.(w) <- remaining_preds.(w) - 1;
+            promote w
+          in
+          List.iter release (G.succ dag v);
+          false
+    in
+    ready := List.filter place order;
+    incr cs
+  done;
+  let sched = !sched in
+  Schedule.set_length sched (Timing.required_length sched)
+
+let run_on ?priority_strategy ?speeds dfg topo =
+  run ?priority_strategy ?speeds dfg (Comm.of_topology topo)

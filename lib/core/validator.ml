@@ -1,0 +1,131 @@
+module Csdfg = Dataflow.Csdfg
+module G = Digraph.Graph
+
+type violation =
+  | Unassigned of int
+  | Out_of_table of int
+  | Overlap of int * int
+  | Dependence of Csdfg.attr G.edge * int
+
+let pp_violation sched ppf v =
+  let dfg = Schedule.dfg sched in
+  match v with
+  | Unassigned n -> Fmt.pf ppf "node %s is unassigned" (Csdfg.label dfg n)
+  | Out_of_table n ->
+      Fmt.pf ppf "node %s runs past the table (CE=%d > L=%d)"
+        (Csdfg.label dfg n) (Schedule.ce sched n) (Schedule.length sched)
+  | Overlap (a, b) ->
+      Fmt.pf ppf "nodes %s and %s overlap on pe%d" (Csdfg.label dfg a)
+        (Csdfg.label dfg b)
+        (Schedule.pe sched a + 1)
+  | Dependence (e, missing) ->
+      Fmt.pf ppf "edge %s -> %s (d=%d c=%d) is %d step(s) too tight"
+        (Csdfg.label dfg e.G.src) (Csdfg.label dfg e.G.dst) (Csdfg.delay e)
+        (Csdfg.volume e) missing
+
+let check sched =
+  let dfg = Schedule.dfg sched in
+  let problems = ref [] in
+  let note p = problems := p :: !problems in
+  let unassigned =
+    List.filter (fun v -> not (Schedule.is_assigned sched v)) (Csdfg.nodes dfg)
+  in
+  List.iter (fun v -> note (Unassigned v)) unassigned;
+  if unassigned = [] then begin
+    let len = Schedule.length sched in
+    List.iter
+      (fun v -> if Schedule.ce sched v > len then note (Out_of_table v))
+      (Csdfg.nodes dfg);
+    (* Resource overlaps: pairwise interval intersection per processor. *)
+    let nodes = Csdfg.nodes dfg in
+    List.iter
+      (fun a ->
+        List.iter
+          (fun b ->
+            if a < b && Schedule.pe sched a = Schedule.pe sched b then begin
+              let alo = Schedule.cb sched a and ahi = Schedule.ce sched a in
+              let blo = Schedule.cb sched b and bhi = Schedule.ce sched b in
+              if not (ahi < blo || bhi < alo) then note (Overlap (a, b))
+            end)
+          nodes)
+      nodes;
+    (* Dependences, intra- and inter-iteration in one rule. *)
+    List.iter
+      (fun e ->
+        let m = Timing.edge_cost sched e in
+        let have =
+          Schedule.cb sched e.G.dst + (Csdfg.delay e * len)
+        in
+        let want = Schedule.ce sched e.G.src + m + 1 in
+        if have < want then note (Dependence (e, want - have)))
+      (Csdfg.edges dfg)
+  end;
+  match List.rev !problems with [] -> Ok () | l -> Error l
+
+let is_legal sched = check sched = Ok ()
+
+let assert_legal sched =
+  match check sched with
+  | Ok () -> ()
+  | Error problems ->
+      let msg =
+        Fmt.str "@[<v>illegal schedule:@,%a@,%a@]"
+          (Fmt.list (pp_violation sched))
+          problems Schedule.pp sched
+      in
+      failwith msg
+
+let count_iterations_checked = 1
+
+let simulate sched ~iterations =
+  let dfg = Schedule.dfg sched in
+  let len = Schedule.length sched in
+  let problems = ref [] in
+  let note p = if not (List.mem p !problems) then problems := p :: !problems in
+  let unassigned =
+    List.filter (fun v -> not (Schedule.is_assigned sched v)) (Csdfg.nodes dfg)
+  in
+  List.iter (fun v -> note (Unassigned v)) unassigned;
+  if unassigned = [] && len > 0 then begin
+    (* Global timeline: node v of iteration i starts at i*len + CB v. *)
+    let start v i = (i * len) + Schedule.cb sched v in
+    let finish v i =
+      start v i
+      + Schedule.duration sched ~node:v ~pe:(Schedule.pe sched v)
+      - 1
+    in
+    List.iter
+      (fun v -> if Schedule.ce sched v > len then note (Out_of_table v))
+      (Csdfg.nodes dfg);
+    (* Resource conflicts across iteration boundaries. *)
+    let horizon = (iterations + 2) * len in
+    let np = Schedule.n_processors sched in
+    let cell = Array.make_matrix np (horizon + 1) (-1) in
+    List.iter
+      (fun v ->
+        for i = 0 to iterations + 1 do
+          for t = start v i to min (finish v i) horizon do
+            if t >= 0 then begin
+              let p = Schedule.pe sched v in
+              if cell.(p).(t) >= 0 && cell.(p).(t) <> v then
+                note (Overlap (min v cell.(p).(t), max v cell.(p).(t)))
+              else cell.(p).(t) <- v
+            end
+          done
+        done)
+      (Csdfg.nodes dfg);
+    (* Dependences on the global timeline. *)
+    List.iter
+      (fun e ->
+        let m = Timing.edge_cost sched e in
+        for i = Csdfg.delay e to iterations do
+          let produced = finish e.G.src (i - Csdfg.delay e) in
+          let consumed = start e.G.dst i in
+          if consumed < produced + m + 1 then
+            note (Dependence (e, produced + m + 1 - consumed))
+        done)
+      (Csdfg.edges dfg)
+  end
+  else if len = 0 && Csdfg.n_nodes dfg > 0 && unassigned = [] then
+    List.iter (fun v -> note (Out_of_table v)) (Csdfg.nodes dfg);
+  match List.rev !problems with [] -> Ok () | l -> Error l

@@ -1,0 +1,21 @@
+(** Plain-text CSDFG format.
+
+    {v
+    # comment
+    csdfg my-filter
+    node A 1
+    node B 2
+    edge A B 0 1      # src dst delay volume
+    v} *)
+
+val to_string : Csdfg.t -> string
+
+val of_string : string -> (Csdfg.t, string) result
+(** Parse; the error message carries the offending line number. *)
+
+val of_string_exn : string -> Csdfg.t
+(** @raise Invalid_argument on parse errors. *)
+
+val write_file : path:string -> Csdfg.t -> unit
+
+val read_file : path:string -> (Csdfg.t, string) result

@@ -1,0 +1,20 @@
+(** Iteration bound of a cyclic data-flow graph.
+
+    The iteration bound [B(G) = max over cycles C of T(C) / D(C)] (total
+    computation time over total delay) is the theoretical minimum average
+    schedule length per iteration, regardless of processor count — a
+    floor against which cyclo-compaction results can be judged. *)
+
+val exact : ?max_cycles:int -> Csdfg.t -> (int * int) option
+(** Unreduced fraction [T(C') / D(C')] of a critical cycle by elementary
+    cycle enumeration; [None] for acyclic graphs. *)
+
+val exact_ceil : ?max_cycles:int -> Csdfg.t -> int option
+(** [ceil] of {!exact} — the smallest integer schedule length per
+    iteration permitted by the loop-carried dependencies. *)
+
+val approx : ?epsilon:float -> Csdfg.t -> float option
+(** Binary-search estimate that scales to large graphs. *)
+
+val critical_cycles : ?max_cycles:int -> Csdfg.t -> int list list
+(** All elementary cycles attaining the bound. *)

@@ -1,0 +1,151 @@
+(* Johnson's algorithm for elementary circuits, restricted at each round to
+   the strongly connected component of the current start node. *)
+
+module Iset = Set.Make (Int)
+
+exception Enough
+
+let elementary ?(max_cycles = 100_000) g =
+  let n = Graph.n_nodes g in
+  let results = ref [] in
+  let count = ref 0 in
+  let emit cyc =
+    results := cyc :: !results;
+    incr count;
+    if !count >= max_cycles then raise Enough
+  in
+  let blocked = Array.make n false in
+  let block_map = Array.make n Iset.empty in
+  let rec unblock v =
+    if blocked.(v) then begin
+      blocked.(v) <- false;
+      let waiters = block_map.(v) in
+      block_map.(v) <- Iset.empty;
+      Iset.iter unblock waiters
+    end
+  in
+  let run start allowed =
+    (* Successors restricted to [allowed] (the current SCC, ids >= start). *)
+    (* Self-loops are emitted separately, so exclude them here. *)
+    let succs v =
+      List.filter (fun w -> w <> v && Iset.mem w allowed) (Graph.succ_nodes g v)
+    in
+    let path = ref [] in
+    let rec circuit v =
+      let found = ref false in
+      blocked.(v) <- true;
+      path := v :: !path;
+      let explore w =
+        if w = start then begin
+          emit (List.rev !path);
+          found := true
+        end
+        else if not blocked.(w) then if circuit w then found := true
+      in
+      List.iter explore (succs v);
+      if !found then unblock v
+      else
+        List.iter
+          (fun w -> block_map.(w) <- Iset.add v block_map.(w))
+          (succs v);
+      path := List.tl !path;
+      !found
+    in
+    ignore (circuit start)
+  in
+  begin
+    try
+      (* Self-loops first (Johnson's SCC restriction skips trivial ones). *)
+      List.iter
+        (fun e -> if e.Graph.src = e.Graph.dst then emit [ e.Graph.src ])
+        (Graph.edges g);
+      for start = 0 to n - 1 do
+        (* Component of [start] within the subgraph of nodes >= start. *)
+        let sub =
+          Graph.filter_edges
+            (fun e -> e.Graph.src >= start && e.Graph.dst >= start)
+            g
+        in
+        let comps = Scc.components sub in
+        let comp =
+          List.find_opt (fun c -> List.mem start c) comps |> Option.value ~default:[]
+        in
+        if List.length comp > 1 then begin
+          let allowed = Iset.of_list comp in
+          Iset.iter
+            (fun v ->
+              blocked.(v) <- false;
+              block_map.(v) <- Iset.empty)
+            allowed;
+          run start allowed
+        end
+      done
+    with Enough -> ()
+  end;
+  List.rev !results
+
+let has_cycle g =
+  Graph.self_loops g <> [] || Scc.nontrivial g <> []
+
+let cycle_edges g cyc =
+  match cyc with
+  | [] -> invalid_arg "Digraph.Cycles.cycle_edges: empty cycle"
+  | first :: _ ->
+      let rec hops = function
+        | [] -> []
+        | [ last ] -> [ (last, first) ]
+        | a :: (b :: _ as rest) -> (a, b) :: hops rest
+      in
+      let pick (a, b) =
+        match Graph.find_edges g ~src:a ~dst:b with
+        | e :: _ -> e
+        | [] ->
+            invalid_arg
+              (Printf.sprintf "Digraph.Cycles.cycle_edges: no edge %d -> %d" a b)
+      in
+      List.map pick (hops cyc)
+
+let fold_cycle_weight g cyc ~f ~init =
+  List.fold_left f init (cycle_edges g cyc)
+
+let cycle_hops cyc =
+  match cyc with
+  | [] -> invalid_arg "Digraph.Cycles.all_cycle_edges: empty cycle"
+  | first :: _ ->
+      let rec hops = function
+        | [] -> []
+        | [ last ] -> [ (last, first) ]
+        | a :: (b :: _ as rest) -> (a, b) :: hops rest
+      in
+      hops cyc
+
+let all_cycle_edges ?(max_variants = 4096) g cyc =
+  let per_hop =
+    List.map
+      (fun (a, b) ->
+        match Graph.find_edges g ~src:a ~dst:b with
+        | [] ->
+            invalid_arg
+              (Printf.sprintf "Digraph.Cycles.all_cycle_edges: no edge %d -> %d"
+                 a b)
+        | es -> es)
+      (cycle_hops cyc)
+  in
+  (* Cartesian product of the per-hop choices, truncated. *)
+  let extend variants choices =
+    let out = ref [] in
+    let count = ref 0 in
+    (try
+       List.iter
+         (fun variant ->
+           List.iter
+             (fun e ->
+               if !count >= max_variants then raise Exit;
+               incr count;
+               out := (e :: variant) :: !out)
+             choices)
+         variants
+     with Exit -> ());
+    !out
+  in
+  List.fold_left extend [ [] ] per_hop |> List.map List.rev

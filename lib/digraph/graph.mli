@@ -1,0 +1,74 @@
+(** Immutable directed multigraph over integer nodes [0 .. n-1].
+
+    Nodes are dense integers fixed at creation time; edges carry an
+    arbitrary label ['e] and are kept in insertion order.  The structure is
+    persistent: every update returns a new graph, which keeps the scheduling
+    algorithms (which explore many tentative graphs) simple and safe. *)
+
+type 'e edge = {
+  src : int;  (** source node *)
+  dst : int;  (** destination node *)
+  label : 'e;  (** edge payload, e.g. delay/volume attributes *)
+}
+
+type 'e t
+
+val empty : int -> 'e t
+(** [empty n] is a graph with [n] nodes and no edges.
+    @raise Invalid_argument if [n < 0]. *)
+
+val create : n:int -> 'e edge list -> 'e t
+(** [create ~n edges] builds a graph with [n] nodes and the given edges.
+    @raise Invalid_argument if an endpoint is outside [0 .. n-1]. *)
+
+val n_nodes : 'e t -> int
+val n_edges : 'e t -> int
+
+val nodes : 'e t -> int list
+(** [nodes g] is [0; 1; ...; n-1]. *)
+
+val add_edge : 'e t -> src:int -> dst:int -> 'e -> 'e t
+(** @raise Invalid_argument if an endpoint is out of range. *)
+
+val edges : 'e t -> 'e edge list
+(** All edges in insertion order. *)
+
+val succ : 'e t -> int -> 'e edge list
+(** Outgoing edges of a node, in insertion order. *)
+
+val pred : 'e t -> int -> 'e edge list
+(** Incoming edges of a node, in insertion order. *)
+
+val succ_nodes : 'e t -> int -> int list
+(** Distinct successor nodes, ascending. *)
+
+val pred_nodes : 'e t -> int -> int list
+(** Distinct predecessor nodes, ascending. *)
+
+val out_degree : 'e t -> int -> int
+val in_degree : 'e t -> int -> int
+
+val mem_edge : 'e t -> src:int -> dst:int -> bool
+(** Whether at least one edge links [src] to [dst]. *)
+
+val find_edges : 'e t -> src:int -> dst:int -> 'e edge list
+
+val map_labels : ('e edge -> 'f) -> 'e t -> 'f t
+(** Rebuild the graph applying a function to every edge. *)
+
+val filter_edges : ('e edge -> bool) -> 'e t -> 'e t
+(** Keep only edges satisfying the predicate (same node set). *)
+
+val fold_edges : ('a -> 'e edge -> 'a) -> 'a -> 'e t -> 'a
+val iter_edges : ('e edge -> unit) -> 'e t -> unit
+
+val transpose : 'e t -> 'e t
+(** Reverse every edge. *)
+
+val self_loops : 'e t -> 'e edge list
+
+val equal : ('e -> 'e -> bool) -> 'e t -> 'e t -> bool
+(** Structural equality: same node count and same multiset of edges
+    (compared as sorted lists of [(src, dst, label)]). *)
+
+val pp : (Format.formatter -> 'e -> unit) -> Format.formatter -> 'e t -> unit

@@ -1,0 +1,33 @@
+(** Cycle means and cycle ratios.
+
+    [minimum_cycle_mean] is Karp's classic algorithm.  [maximum_cycle_ratio]
+    computes [max over cycles (sum num / sum den)] — with numerator = node
+    computation time and denominator = edge delay this is exactly the
+    iteration bound of a data-flow graph. *)
+
+val minimum_cycle_mean :
+  'e Graph.t -> weight:('e Graph.edge -> int) -> float option
+(** Karp's minimum mean over all cycles; [None] for an acyclic graph. *)
+
+val maximum_cycle_ratio :
+  ?max_cycles:int ->
+  'e Graph.t ->
+  num:('e Graph.edge -> int) ->
+  den:('e Graph.edge -> int) ->
+  (int * int) option
+(** Exact maximum of [sum num / sum den] over elementary cycles, as an
+    unreduced fraction; [None] when acyclic.  Denominator sums must be
+    strictly positive on every cycle.
+    @raise Invalid_argument if some cycle has denominator sum <= 0.
+    Enumerates elementary cycles, so meant for small graphs
+    (bounded by [max_cycles]). *)
+
+val maximum_cycle_ratio_float :
+  ?epsilon:float ->
+  'e Graph.t ->
+  num:('e Graph.edge -> int) ->
+  den:('e Graph.edge -> int) ->
+  float option
+(** Same quantity via binary search with Bellman–Ford feasibility tests
+    (scales to large graphs); accurate to [epsilon] (default 1e-9).
+    Requires non-negative denominators with every cycle's sum positive. *)

@@ -1,0 +1,27 @@
+type 'a t = Leaf | Node of int * 'a * 'a t list
+
+let empty = Leaf
+let is_empty h = h = Leaf
+
+let merge a b =
+  match (a, b) with
+  | Leaf, h | h, Leaf -> h
+  | Node (ka, va, ca), Node (kb, vb, cb) ->
+      if ka <= kb then Node (ka, va, b :: ca) else Node (kb, vb, a :: cb)
+
+let insert h k v = merge h (Node (k, v, []))
+
+let rec merge_pairs = function
+  | [] -> Leaf
+  | [ h ] -> h
+  | a :: b :: rest -> merge (merge a b) (merge_pairs rest)
+
+let pop = function
+  | Leaf -> None
+  | Node (k, v, children) -> Some ((k, v), merge_pairs children)
+
+let rec size = function
+  | Leaf -> 0
+  | Node (_, _, children) -> 1 + List.fold_left (fun acc c -> acc + size c) 0 children
+
+let of_list l = List.fold_left (fun h (k, v) -> insert h k v) empty l

@@ -1,0 +1,16 @@
+(** Minimal persistent min-priority queue (pairing heap) with integer
+    keys — shared by shortest-path search and the event-driven machine
+    simulator. *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+val insert : 'a t -> int -> 'a -> 'a t
+val pop : 'a t -> ((int * 'a) * 'a t) option
+(** Smallest key first; ties in insertion-dependent order. *)
+
+val size : 'a t -> int
+(** Number of queued elements (O(n)). *)
+
+val of_list : (int * 'a) list -> 'a t

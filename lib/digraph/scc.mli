@@ -1,0 +1,21 @@
+(** Strongly connected components (Tarjan's algorithm). *)
+
+val components : 'e Graph.t -> int list list
+(** The strongly connected components, each sorted ascending, in reverse
+    topological order of the condensation (a component is emitted only
+    after every component it reaches). *)
+
+val component_of : 'e Graph.t -> int array
+(** Map from node to component index, indices matching {!components}. *)
+
+val is_strongly_connected : 'e Graph.t -> bool
+(** True when the graph has one component covering all nodes
+    (false for the empty graph). *)
+
+val nontrivial : 'e Graph.t -> int list list
+(** Components that contain a cycle: more than one node, or a single node
+    with a self-loop. *)
+
+val condensation : 'e Graph.t -> unit Graph.t
+(** The DAG of components: node [i] is component [i] of {!components};
+    one edge per pair of components linked by at least one edge. *)

@@ -1,0 +1,21 @@
+(** Topological ordering of acyclic graphs. *)
+
+val sort : 'e Graph.t -> int list option
+(** Kahn's algorithm.  [Some order] lists every node with all edge sources
+    before their destinations; [None] when the graph has a cycle.
+    Ties are broken by ascending node id, so the order is deterministic. *)
+
+val sort_exn : 'e Graph.t -> int list
+(** @raise Invalid_argument when the graph has a cycle. *)
+
+val is_dag : 'e Graph.t -> bool
+
+val layers : 'e Graph.t -> int list list option
+(** Partition of an acyclic graph into ASAP layers: layer 0 holds the
+    roots, layer [k+1] the nodes whose predecessors all sit in layers
+    [<= k].  [None] when cyclic. *)
+
+val longest_path_nodes : 'e Graph.t -> weight:(int -> int) -> int
+(** Longest node-weighted path in a DAG (sum of [weight v] over the
+    path's nodes); 0 for the empty graph.
+    @raise Invalid_argument when the graph has a cycle. *)

@@ -1,0 +1,60 @@
+let dfs_order g root =
+  let seen = Array.make (Graph.n_nodes g) false in
+  let acc = ref [] in
+  let rec go v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      acc := v :: !acc;
+      List.iter (fun e -> go e.Graph.dst) (Graph.succ g v)
+    end
+  in
+  go root;
+  List.rev !acc
+
+let bfs_levels g root =
+  let n = Graph.n_nodes g in
+  let level = Array.make n (-1) in
+  let q = Queue.create () in
+  level.(root) <- 0;
+  Queue.add root q;
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    let explore e =
+      let w = e.Graph.dst in
+      if level.(w) < 0 then begin
+        level.(w) <- level.(v) + 1;
+        Queue.add w q
+      end
+    in
+    List.iter explore (Graph.succ g v)
+  done;
+  level
+
+let bfs_order g root =
+  let level = bfs_levels g root in
+  Graph.nodes g
+  |> List.filter (fun v -> level.(v) >= 0)
+  |> List.stable_sort (fun a b ->
+         match compare level.(a) level.(b) with 0 -> compare a b | c -> c)
+
+let reachable g root =
+  let level = bfs_levels g root in
+  Array.map (fun d -> d >= 0) level
+
+let reaches g ~src ~dst = (reachable g src).(dst)
+
+let postorder g =
+  let seen = Array.make (Graph.n_nodes g) false in
+  let acc = ref [] in
+  let rec go v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter (fun e -> go e.Graph.dst) (Graph.succ g v);
+      acc := v :: !acc
+    end
+  in
+  List.iter go (Graph.nodes g);
+  List.rev !acc
+
+let roots g = List.filter (fun v -> Graph.in_degree g v = 0) (Graph.nodes g)
+let sinks g = List.filter (fun v -> Graph.out_degree g v = 0) (Graph.nodes g)

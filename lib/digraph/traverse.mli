@@ -1,0 +1,26 @@
+(** Depth-first and breadth-first traversals. *)
+
+val dfs_order : 'e Graph.t -> int -> int list
+(** Nodes reachable from the root in depth-first preorder
+    (following edge insertion order). *)
+
+val bfs_order : 'e Graph.t -> int -> int list
+(** Nodes reachable from the root in breadth-first order. *)
+
+val bfs_levels : 'e Graph.t -> int -> int array
+(** [bfs_levels g root] maps every node to its hop distance from [root],
+    [-1] when unreachable. *)
+
+val reachable : 'e Graph.t -> int -> bool array
+(** Characteristic vector of the set reachable from a root (root included). *)
+
+val reaches : 'e Graph.t -> src:int -> dst:int -> bool
+
+val postorder : 'e Graph.t -> int list
+(** Depth-first postorder over the whole graph (all roots, ascending). *)
+
+val roots : 'e Graph.t -> int list
+(** Nodes with no incoming edge. *)
+
+val sinks : 'e Graph.t -> int list
+(** Nodes with no outgoing edge. *)

@@ -1,0 +1,326 @@
+module Csdfg = Dataflow.Csdfg
+module Schedule = Cyclo.Schedule
+module G = Digraph.Graph
+
+type policy = Contention_free | Fifo_links
+type transport = Store_and_forward | Wormhole
+
+type stats = {
+  policy : policy;
+  transport : transport;
+  iterations : int;
+  makespan : int;
+  average_period : float;
+  messages : int;
+  message_hops : int;
+  max_link_backlog : int;
+  busy : int array;
+  utilization : float;
+}
+
+(* A message in flight: the data of one cross-processor edge delivery,
+   walking its shortest route one store-and-forward hop at a time. *)
+type message = {
+  volume : int;
+  target : int;  (* destination instance index *)
+  mutable remaining : int list;  (* nodes still to visit (head = current) *)
+}
+
+type link_state = {
+  mutable free_at : int;
+  waiting : message Queue.t;
+  mutable backlog_peak : int;
+}
+
+type event =
+  | Complete of int  (* instance index *)
+  | Hop_done of message  (* message finished occupying a link *)
+  | Deliver of message  (* contention-free arrival *)
+
+let static_bound sched ~iterations =
+  let dfg = Schedule.dfg sched in
+  let max_ce =
+    List.fold_left (fun acc v -> max acc (Schedule.ce sched v)) 0
+      (Csdfg.nodes dfg)
+  in
+  ((iterations - 1) * Schedule.length sched) + max_ce
+
+let execute ?(policy = Contention_free) ?(transport = Store_and_forward)
+    sched topo ~iterations =
+  if iterations < 1 then invalid_arg "Simulator.execute: iterations < 1";
+  if not (Schedule.assigned_all sched) then
+    invalid_arg "Simulator.execute: schedule has unassigned nodes";
+  let np = Topology.n_processors topo in
+  if np <> Schedule.n_processors sched then
+    invalid_arg "Simulator.execute: topology size mismatch";
+  let dfg = Schedule.dfg sched in
+  let n = Csdfg.n_nodes dfg in
+  let n_inst = n * iterations in
+  let idx v i = (i * n) + v in
+  let node_of inst = inst mod n in
+  let iter_of inst = inst / n in
+
+  (* Per-processor execution order: static (iteration, CB, node). *)
+  let order = Array.make np [] in
+  for i = iterations - 1 downto 0 do
+    List.iter
+      (fun v ->
+        let p = Schedule.pe sched v in
+        order.(p) <- idx v i :: order.(p))
+      (List.sort
+         (fun a b ->
+           (* reversed, since we cons *)
+           match compare (Schedule.cb sched b) (Schedule.cb sched a) with
+           | 0 -> compare b a
+           | c -> c)
+         (Csdfg.nodes dfg))
+  done;
+  let queue = Array.map Array.of_list order in
+  let head = Array.make np 0 in
+  let pe_free = Array.make np 0 in
+
+  (* Input bookkeeping. *)
+  let missing = Array.make n_inst 0 in
+  let ready_at = Array.make n_inst 0 in
+  List.iter
+    (fun (e : Csdfg.attr G.edge) ->
+      for i = 0 to iterations - 1 do
+        if i - Csdfg.delay e >= 0 then
+          missing.(idx e.G.dst i) <- missing.(idx e.G.dst i) + 1
+      done)
+    (Csdfg.edges dfg);
+
+  (* Links, keyed by (src * np + dst). *)
+  let links = Hashtbl.create 64 in
+  let link a b =
+    let key = (a * np) + b in
+    match Hashtbl.find_opt links key with
+    | Some l -> l
+    | None ->
+        let l = { free_at = 0; waiting = Queue.create (); backlog_peak = 0 } in
+        Hashtbl.add links key l;
+        l
+  in
+
+  let events = ref Digraph.Pqueue.empty in
+  let push t ev = events := Digraph.Pqueue.insert !events t ev in
+
+  let completion = Array.make n_inst (-1) in
+  let makespan = ref 0 in
+  let message_count = ref 0 in
+  let hop_count = ref 0 in
+  let busy = Array.make np 0 in
+
+  (* Start every ready instance at the head of a processor's queue. *)
+  let rec try_start p now =
+    if head.(p) < Array.length queue.(p) then begin
+      let inst = queue.(p).(head.(p)) in
+      if missing.(inst) = 0 then begin
+        let v = node_of inst in
+        let dur = Schedule.duration sched ~node:v ~pe:p in
+        let start = max now (max ready_at.(inst) pe_free.(p)) in
+        let finish = start + dur in
+        pe_free.(p) <- finish;
+        busy.(p) <- busy.(p) + dur;
+        head.(p) <- head.(p) + 1;
+        completion.(inst) <- finish;
+        push finish (Complete inst);
+        try_start p now
+      end
+    end
+  in
+
+  let arrive inst t =
+    missing.(inst) <- missing.(inst) - 1;
+    if ready_at.(inst) < t then ready_at.(inst) <- t;
+    if missing.(inst) = 0 then
+      try_start (Schedule.pe sched (node_of inst)) t
+  in
+
+  (* Store-and-forward cost of one hop: link latency times data volume,
+     so weighted topologies are honoured. *)
+  let hop_time a b volume = Topology.hops topo a b * volume in
+  let route_links route =
+    let rec pairs = function
+      | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+      | _ -> []
+    in
+    pairs route
+  in
+  let start_hop msg now =
+    match msg.remaining with
+    | a :: (b :: _ as rest) -> (
+        let final = List.nth rest (List.length rest - 1) in
+        match (transport, policy) with
+        | Store_and_forward, Contention_free ->
+            (* whole remaining route in one analytical step *)
+            let n_hops = List.length rest in
+            let transit = hop_time a final msg.volume in
+            hop_count := !hop_count + n_hops;
+            msg.remaining <- [ final ];
+            push (now + transit) (Deliver msg)
+        | Store_and_forward, Fifo_links ->
+            let l = link a b in
+            if l.free_at <= now then begin
+              let t = hop_time a b msg.volume in
+              l.free_at <- now + t;
+              hop_count := !hop_count + 1;
+              push (now + t) (Hop_done msg)
+            end
+            else begin
+              Queue.add msg l.waiting;
+              l.backlog_peak <- max l.backlog_peak (Queue.length l.waiting)
+            end
+        | Wormhole, Contention_free ->
+            let transit = Topology.hops topo a final + msg.volume - 1 in
+            hop_count := !hop_count + List.length rest;
+            msg.remaining <- [ final ];
+            push (now + transit) (Deliver msg)
+        | Wormhole, Fifo_links ->
+            (* Conservative circuit reservation: the whole path is held
+               for the transfer window, starting when every link frees. *)
+            let hops = route_links msg.remaining in
+            let start =
+              List.fold_left
+                (fun acc (x, y) -> max acc (link x y).free_at)
+                now hops
+            in
+            let window = Topology.hops topo a final + msg.volume - 1 in
+            List.iter
+              (fun (x, y) ->
+                let l = link x y in
+                if start > now then l.backlog_peak <- max l.backlog_peak 1;
+                l.free_at <- start + window)
+              hops;
+            hop_count := !hop_count + List.length hops;
+            msg.remaining <- [ final ];
+            push (start + window) (Deliver msg))
+    | _ -> assert false
+  in
+
+  let deliver_or_continue msg now =
+    match msg.remaining with
+    | [ _ ] -> arrive msg.target now
+    | _ :: _ :: _ -> start_hop msg now
+    | [] -> assert false
+  in
+
+  let on_complete inst now =
+    if now > !makespan then makespan := now;
+    let u = node_of inst and i = iter_of inst in
+    let p = Schedule.pe sched u in
+    List.iter
+      (fun (e : Csdfg.attr G.edge) ->
+        let j = i + Csdfg.delay e in
+        if j < iterations then begin
+          let w = e.G.dst in
+          let q = Schedule.pe sched w in
+          if q = p then arrive (idx w j) now
+          else begin
+            incr message_count;
+            let msg =
+              {
+                volume = Csdfg.volume e;
+                target = idx w j;
+                remaining = Topology.route topo ~src:p ~dst:q;
+              }
+            in
+            start_hop msg now
+          end
+        end)
+      (Csdfg.succ dfg u);
+    try_start p now
+  in
+
+  let on_hop_done msg now =
+    (match msg.remaining with
+    | prev :: rest ->
+        (* free the link we just used and admit the next waiter *)
+        (match rest with
+        | next :: _ ->
+            let l = link prev next in
+            (match Queue.take_opt l.waiting with
+            | Some waiter ->
+                let t = hop_time prev next waiter.volume in
+                l.free_at <- now + t;
+                hop_count := !hop_count + 1;
+                push (now + t) (Hop_done waiter)
+            | None -> ());
+            msg.remaining <- rest
+        | [] -> assert false)
+    | [] -> assert false);
+    deliver_or_continue msg now
+  in
+
+  (* Kick off. *)
+  for p = 0 to np - 1 do
+    try_start p 0
+  done;
+  let rec drain () =
+    match Digraph.Pqueue.pop !events with
+    | None -> ()
+    | Some ((t, ev), rest) ->
+        events := rest;
+        (match ev with
+        | Complete inst -> on_complete inst t
+        | Hop_done msg -> on_hop_done msg t
+        | Deliver msg -> arrive msg.target t);
+        drain ()
+  in
+  drain ();
+
+  if Array.exists (fun c -> c < 0) completion then
+    invalid_arg "Simulator.execute: deadlock (illegal schedule or graph)";
+
+  let iteration_done = Array.make iterations 0 in
+  Array.iteri
+    (fun inst c ->
+      let i = iter_of inst in
+      if c > iteration_done.(i) then iteration_done.(i) <- c)
+    completion;
+  let average_period =
+    if iterations = 1 then float_of_int !makespan
+    else begin
+      let lo = iterations / 2 in
+      if lo = iterations - 1 then
+        float_of_int iteration_done.(iterations - 1) /. float_of_int iterations
+      else
+        float_of_int (iteration_done.(iterations - 1) - iteration_done.(lo))
+        /. float_of_int (iterations - 1 - lo)
+    end
+  in
+  let max_link_backlog =
+    Hashtbl.fold (fun _ l acc -> max acc l.backlog_peak) links 0
+  in
+  let total_busy = Array.fold_left ( + ) 0 busy in
+  {
+    policy;
+    transport;
+    iterations;
+    makespan = !makespan;
+    average_period;
+    messages = !message_count;
+    message_hops = !hop_count;
+    max_link_backlog;
+    busy;
+    utilization =
+      (if !makespan = 0 then 0.
+       else float_of_int total_busy /. float_of_int (np * !makespan));
+  }
+
+let slowdown stats sched =
+  let len = Schedule.length sched in
+  if len = 0 then 0. else stats.average_period /. float_of_int len
+
+let pp_stats ppf s =
+  Fmt.pf ppf
+    "policy=%s transport=%s iters=%d makespan=%d period=%.2f msgs=%d \
+     hops=%d backlog=%d util=%.2f"
+    (match s.policy with
+    | Contention_free -> "contention-free"
+    | Fifo_links -> "fifo-links")
+    (match s.transport with
+    | Store_and_forward -> "store-and-forward"
+    | Wormhole -> "wormhole")
+    s.iterations s.makespan s.average_period s.messages s.message_hops
+    s.max_link_backlog s.utilization

@@ -1,0 +1,72 @@
+(** Event-driven execution of a static cyclic schedule on a simulated
+    message-passing machine.
+
+    The paper's analytical model assumes store-and-forward transport over
+    contention-free multiple channels (§2).  This simulator actually
+    executes the schedule, routing every message hop by hop over the
+    topology's links, and measures what happens — both under the paper's
+    assumption ({!Contention_free}) and with single-channel FIFO links
+    ({!Fifo_links}) where messages queue.
+
+    Execution is {e self-timed}: each processor runs its instances in
+    static-schedule order, and an instance starts as soon as its inputs
+    have arrived and the processor is free.  Under the contention-free
+    policy a legal schedule's execution can never fall behind the static
+    timing, so the measured makespan is at most
+    [(iterations - 1) * L + max CE] — a property the test suite checks. *)
+
+type policy =
+  | Contention_free  (** infinite channels per link (the paper's model) *)
+  | Fifo_links  (** each directed link carries one message at a time *)
+
+(** How a message crosses the network. *)
+type transport =
+  | Store_and_forward
+      (** the paper's model: each hop stores the whole message —
+          [hops * volume] per transfer *)
+  | Wormhole
+      (** pipelined cut-through: [path latency + volume] per transfer;
+          under {!Fifo_links} the whole path is reserved for the
+          transfer window (a conservative circuit-switched
+          approximation) *)
+
+type stats = {
+  policy : policy;
+  transport : transport;
+  iterations : int;
+  makespan : int;  (** completion time of the last instance (time 0 start) *)
+  average_period : float;
+      (** asymptotic control steps per iteration, measured over the
+          second half of the run to skip pipeline fill *)
+  messages : int;  (** cross-processor messages delivered *)
+  message_hops : int;  (** total link traversals *)
+  max_link_backlog : int;
+      (** worst number of messages ever waiting on one directed link
+          (always 0 under {!Contention_free}) *)
+  busy : int array;  (** per-processor busy time *)
+  utilization : float;  (** total busy time / (processors * makespan) *)
+}
+
+val execute :
+  ?policy:policy ->
+  ?transport:transport ->
+  Cyclo.Schedule.t ->
+  Topology.t ->
+  iterations:int ->
+  stats
+(** [transport] defaults to {!Store_and_forward}.  Pair {!Wormhole} with
+    schedules built against {!Cyclo.Comm.wormhole} costs for the
+    slowdown-1 guarantee to apply.
+    @raise Invalid_argument when the schedule is incomplete, illegal, the
+    topology size differs from the schedule's processor count, or
+    [iterations < 1]. *)
+
+val static_bound : Cyclo.Schedule.t -> iterations:int -> int
+(** The makespan the static schedule promises:
+    [(iterations - 1) * length + max CE]. *)
+
+val slowdown : stats -> Cyclo.Schedule.t -> float
+(** [average_period / schedule length] — 1.0 means the execution
+    sustains the static rate; above 1.0 means (contention) stalls. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,39 @@
+let recommended_domains () = max 1 (Domain.recommended_domain_count ())
+
+type 'b cell = Pending | Done of 'b | Failed of exn
+
+let mapi ?domains f items =
+  let n = List.length items in
+  let workers =
+    let d = match domains with Some d -> d | None -> recommended_domains () in
+    max 1 (min d n)
+  in
+  if workers <= 1 || n <= 1 then List.mapi f items
+  else begin
+    let input = Array.of_list items in
+    let output = Array.make n Pending in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (output.(i) <-
+            (match f i input.(i) with
+            | v -> Done v
+            | exception e -> Failed e));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    Array.to_list output
+    |> List.map (function
+         | Done v -> v
+         | Failed e -> raise e
+         | Pending -> assert false)
+  end
+
+let map ?domains f items = mapi ?domains (fun _ x -> f x) items

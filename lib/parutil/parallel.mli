@@ -1,0 +1,19 @@
+(** Minimal deterministic fork-join parallelism over OCaml 5 domains.
+
+    The scheduler itself is sequential by design (its passes are a
+    dependent chain), but experiment batches — one compaction per
+    (workload, architecture, mode) cell — are embarrassingly parallel.
+    [map] preserves order and raises the first exception encountered,
+    so results are indistinguishable from [List.map] up to wall-clock
+    time. *)
+
+val recommended_domains : unit -> int
+(** [Domain.recommended_domain_count], at least 1. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map.  [domains] defaults to
+    {!recommended_domains} capped at the list length; [domains <= 1] or
+    a short list degrade to [List.map].  Exceptions from the worker
+    function are re-raised in the caller (first by input order). *)
+
+val mapi : ?domains:int -> (int -> 'a -> 'b) -> 'a list -> 'b list

@@ -1,0 +1,104 @@
+let fir ~taps =
+  if taps < 1 then invalid_arg "Dsp.fir: need at least one tap";
+  let nodes = ref [ ("x", 1) ] in
+  let edges = ref [] in
+  for i = 1 to taps do
+    nodes := (Printf.sprintf "m%d" i, 2) :: !nodes;
+    edges := ("x", Printf.sprintf "m%d" i, 0, 1) :: !edges
+  done;
+  (* Transposed adder chain: s_i = m_i + s_{i+1}(n-1). *)
+  for i = 1 to taps - 1 do
+    nodes := (Printf.sprintf "s%d" i, 1) :: !nodes
+  done;
+  nodes := ("y", 1) :: !nodes;
+  for i = 1 to taps - 1 do
+    let sum = Printf.sprintf "s%d" i in
+    let below = if i = taps - 1 then Printf.sprintf "m%d" taps else Printf.sprintf "s%d" (i + 1) in
+    edges := (Printf.sprintf "m%d" i, sum, 0, 1) :: (below, sum, 1, 1) :: !edges
+  done;
+  let head = if taps = 1 then "m1" else "s1" in
+  edges := (head, "y", 0, 1) :: ("y", "x", 1, 1) :: !edges;
+  Dataflow.Csdfg.make
+    ~name:(Printf.sprintf "fir-%d" taps)
+    ~nodes:(List.rev !nodes) ~edges:(List.rev !edges)
+
+let iir_biquad =
+  Dataflow.Csdfg.make ~name:"iir-biquad"
+    ~nodes:
+      [
+        ("in", 1); ("w", 1); ("ma1", 2); ("ma2", 2); ("mb1", 2); ("mb2", 2);
+        ("fb", 1); ("out", 1);
+      ]
+    ~edges:
+      [
+        (* w(n) = in(n) - a1 w(n-1) - a2 w(n-2), folded into fb *)
+        ("in", "w", 0, 1);
+        ("w", "ma1", 1, 1);
+        ("w", "ma2", 2, 1);
+        ("ma1", "fb", 0, 1);
+        ("ma2", "fb", 0, 1);
+        ("fb", "w", 0, 1);
+        (* y(n) = b0 w(n) + b1 w(n-1) + ... (b0 path direct) *)
+        ("w", "mb1", 1, 1);
+        ("w", "mb2", 2, 1);
+        ("mb1", "out", 0, 1);
+        ("mb2", "out", 0, 1);
+        ("w", "out", 0, 1);
+        ("out", "in", 2, 1);
+      ]
+
+let diffeq =
+  Dataflow.Csdfg.make ~name:"diffeq"
+    ~nodes:
+      [
+        ("m1", 2); (* 3 * x *)
+        ("m2", 2); (* u * dx *)
+        ("m3", 2); (* (3x) * (u dx) *)
+        ("m4", 2); (* 3 * y *)
+        ("m5", 2); (* (3y) * dx *)
+        ("m6", 2); (* y' = u * dx for y update *)
+        ("s1", 1); (* u - 3x u dx *)
+        ("s2", 1); (* u1 - 3y dx *)
+        ("a1", 1); (* x = x + dx *)
+        ("a2", 1); (* y = y + u dx *)
+      ]
+    ~edges:
+      [
+        (* x, y, u of the previous iteration feed this one *)
+        ("a1", "m1", 1, 1);
+        ("s2", "m2", 1, 1);
+        ("m1", "m3", 0, 1);
+        ("m2", "m3", 0, 1);
+        ("a2", "m4", 1, 1);
+        ("m4", "m5", 0, 1);
+        ("s2", "s1", 1, 1);
+        ("m3", "s1", 0, 1);
+        ("s1", "s2", 0, 1);
+        ("m5", "s2", 0, 1);
+        ("a1", "a1", 1, 1);
+        ("s2", "m6", 1, 1);
+        ("m6", "a2", 0, 1);
+        ("a2", "a2", 1, 1);
+      ]
+
+let correlator ~lags =
+  if lags < 1 then invalid_arg "Dsp.correlator: need at least one lag";
+  let nodes = ref [ ("x", 1) ] in
+  let edges = ref [] in
+  for i = 1 to lags do
+    nodes :=
+      (Printf.sprintf "acc%d" i, 1) :: (Printf.sprintf "mul%d" i, 2) :: !nodes;
+    (* r_i += x(n) * x(n - i): the lagged operand is the delayed x. *)
+    edges :=
+      ("x", Printf.sprintf "mul%d" i, 0, 1)
+      :: ("x", Printf.sprintf "mul%d" i, i, 1)
+      :: (Printf.sprintf "mul%d" i, Printf.sprintf "acc%d" i, 0, 1)
+      :: (Printf.sprintf "acc%d" i, Printf.sprintf "acc%d" i, 1, 1)
+      :: !edges
+  done;
+  edges := ("acc1", "x", 1, 1) :: !edges;
+  Dataflow.Csdfg.make
+    ~name:(Printf.sprintf "correlator-%d" lags)
+    ~nodes:(List.rev !nodes) ~edges:(List.rev !edges)
+
+let all () = [ fir ~taps:4; iir_biquad; diffeq; correlator ~lags:3 ]

@@ -1,0 +1,22 @@
+(** Parametric DSP kernels — the loop bodies the paper's introduction
+    motivates (signal processing on message-passing machines). *)
+
+val fir : taps:int -> Dataflow.Csdfg.t
+(** Transposed-form FIR filter: [taps] multipliers feeding an adder
+    chain whose partial sums carry unit delays.
+    @raise Invalid_argument when [taps < 1]. *)
+
+val iir_biquad : Dataflow.Csdfg.t
+(** Direct-form-II biquad: 4 multipliers, 4 adders, two state delays. *)
+
+val diffeq : Dataflow.Csdfg.t
+(** The classical HLS differential-equation solver body
+    (Euler iteration of [y'' + 3xy' + 3y = 0]): 6 multiplies, 2 adds,
+    2 subtracts, loop-carried [x], [y], [u] updates. *)
+
+val correlator : lags:int -> Dataflow.Csdfg.t
+(** Sliding correlator: one multiply-accumulate per lag, accumulators
+    carry unit delays.  @raise Invalid_argument when [lags < 1]. *)
+
+val all : unit -> Dataflow.Csdfg.t list
+(** One representative instance of each kernel. *)

@@ -1,0 +1,87 @@
+let fig1b =
+  Dataflow.Csdfg.make ~name:"fig1b"
+    ~nodes:[ ("A", 1); ("B", 2); ("C", 1); ("D", 1); ("E", 2); ("F", 1) ]
+    ~edges:
+      [
+        ("A", "B", 0, 1);
+        ("A", "C", 0, 1);
+        ("A", "E", 0, 1);
+        ("B", "D", 0, 1);
+        ("B", "E", 0, 2);
+        ("C", "E", 0, 1);
+        ("D", "A", 3, 3);
+        ("D", "F", 0, 2);
+        ("E", "F", 0, 1);
+        ("F", "E", 1, 1);
+      ]
+
+(* Paper Figure 1(a): PE1 is adjacent to PE2 and PE4; PE3 sits on the
+   diagonal.  Row-major [Topology.mesh ~rows:2 ~cols:2] numbers the grid
+   PE1 PE2 / PE3 PE4, so swapping the last two processors reproduces the
+   paper's layout. *)
+let fig1_mesh_permutation = [| 0; 1; 3; 2 |]
+
+let fig7 =
+  Dataflow.Csdfg.make ~name:"fig7"
+    ~nodes:
+      [
+        ("A", 1); ("B", 1); ("C", 2); ("D", 1); ("E", 1); ("F", 2); ("G", 1);
+        ("H", 1); ("I", 1); ("J", 2); ("K", 1); ("L", 2); ("M", 1); ("N", 1);
+        ("O", 1); ("P", 2); ("Q", 1); ("R", 1); ("S", 1);
+      ]
+    ~edges:
+      [
+        (* main branch *)
+        ("A", "B", 0, 1);
+        ("B", "H", 0, 1);
+        ("H", "G", 0, 1);
+        ("G", "I", 0, 2);
+        ("I", "K", 0, 1);
+        ("K", "N", 0, 1);
+        ("N", "O", 0, 1);
+        ("O", "P", 0, 2);
+        ("P", "S", 0, 1);
+        (* side branch through the general-time chain *)
+        ("A", "D", 0, 2);
+        ("D", "F", 0, 1);
+        ("F", "J", 0, 2);
+        ("J", "L", 0, 1);
+        ("L", "Q", 0, 1);
+        ("Q", "S", 0, 2);
+        (* short branches *)
+        ("A", "C", 0, 1);
+        ("C", "I", 0, 1);
+        ("D", "E", 0, 1);
+        ("E", "M", 0, 1);
+        ("M", "R", 0, 1);
+        ("R", "S", 0, 1);
+        (* loop-carried feedback *)
+        ("S", "A", 3, 1);
+        ("L", "F", 2, 1);
+        ("O", "K", 2, 1);
+        ("M", "E", 1, 1);
+      ]
+
+let tiny_chain =
+  Dataflow.Csdfg.make ~name:"tiny-chain"
+    ~nodes:[ ("A", 1); ("B", 2); ("C", 1) ]
+    ~edges:[ ("A", "B", 0, 1); ("B", "C", 0, 1); ("C", "A", 2, 1) ]
+
+let self_loop =
+  Dataflow.Csdfg.make ~name:"self-loop"
+    ~nodes:[ ("X", 2) ]
+    ~edges:[ ("X", "X", 1, 1) ]
+
+let two_independent_chains =
+  Dataflow.Csdfg.make ~name:"two-chains"
+    ~nodes:
+      [ ("A", 1); ("B", 1); ("C", 1); ("D", 1); ("E", 1); ("F", 1) ]
+    ~edges:
+      [
+        ("A", "B", 0, 1);
+        ("B", "C", 0, 1);
+        ("C", "A", 2, 1);
+        ("D", "E", 0, 1);
+        ("E", "F", 0, 1);
+        ("F", "D", 2, 1);
+      ]

@@ -1,0 +1,33 @@
+(** The paper's running examples. *)
+
+val fig1b : Dataflow.Csdfg.t
+(** Figure 1(b): six general-time nodes A–F on a 2x2 mesh.
+    [t A = t C = t D = t F = 1], [t B = t E = 2];
+    delays [d(D->A) = 3], [d(F->E) = 1], all others 0;
+    volumes [c(B->E) = c(D->F) = 2], [c(D->A) = 3], all others 1. *)
+
+val fig1_mesh_permutation : int array
+(** Relabelling that gives the paper's 2x2 mesh numbering (Figure 1(a)):
+    PE3 is diagonal from PE1 — apply with [Topology.relabel]. *)
+
+val fig7 : Dataflow.Csdfg.t
+(** Figure 7: nineteen general-time nodes A–S for the 8-processor
+    experiments.  [t C = t F = t J = t L = t P = 2], others 1.
+
+    The paper prints the figure only as artwork that did not survive into
+    the source text, so the edge set here is a reconstruction: a
+    three-branch layered structure consistent with the paper's schedule
+    tables (chains A-B-H-G..., C..., D-F-J-L... appear as consecutive
+    runs on one processor) plus loop-carried feedback edges.  See
+    DESIGN.md §3 (substitutions). *)
+
+val tiny_chain : Dataflow.Csdfg.t
+(** Three-node pipeline with one feedback delay — smallest interesting
+    input, used in quickstarts and tests. *)
+
+val self_loop : Dataflow.Csdfg.t
+(** One node with a delayed self-dependence. *)
+
+val two_independent_chains : Dataflow.Csdfg.t
+(** Two parallel chains closed by feedback edges — exercises processor
+    spreading. *)

@@ -1,0 +1,115 @@
+(* Builders accumulate (label, time) nodes and (src, dst, delay, volume)
+   edges, then hand off to Csdfg.make. *)
+
+type builder = {
+  mutable nodes : (string * int) list;
+  mutable edges : (string * string * int * int) list;
+}
+
+let builder () = { nodes = []; edges = [] }
+
+let add_node b label time =
+  b.nodes <- (label, time) :: b.nodes;
+  label
+
+let adder b label = add_node b label 1
+let mult b label = add_node b label 2
+let edge ?(delay = 0) ?(volume = 1) b src dst =
+  b.edges <- (src, dst, delay, volume) :: b.edges
+
+let finish b name =
+  Dataflow.Csdfg.make ~name ~nodes:(List.rev b.nodes) ~edges:(List.rev b.edges)
+
+(* One adaptor section of the wave filter: three adders around one
+   multiplier, with the section state fed back through a unit delay.
+
+        x ──> a1 ──> m1 ──> a2 ──> a3 ──> (next section)
+        state = a2 of the previous iteration, read by a1 and a2. *)
+let wave_section b ~tag ~input =
+  let a1 = adder b (Printf.sprintf "a1%s" tag) in
+  let m1 = mult b (Printf.sprintf "m1%s" tag) in
+  let a2 = adder b (Printf.sprintf "a2%s" tag) in
+  let a3 = adder b (Printf.sprintf "a3%s" tag) in
+  edge b input a1;
+  edge b a1 m1;
+  edge b m1 a2;
+  edge b a2 a3;
+  edge b input a3;
+  (* state feedback: a2 holds the section state *)
+  edge b a2 a1 ~delay:1;
+  edge b a2 a2 ~delay:1;
+  a3
+
+let elliptic =
+  let b = builder () in
+  (* Input scaling cascade: three (add, multiply) pairs. *)
+  let rec input_cascade i prev =
+    if i > 3 then prev
+    else begin
+      let a = adder b (Printf.sprintf "ain%d" i) in
+      let m = mult b (Printf.sprintf "min%d" i) in
+      edge b prev a;
+      edge b a m;
+      input_cascade (i + 1) m
+    end
+  in
+  let in0 = adder b "ain0" in
+  let front = input_cascade 1 in0 in
+  (* Five adaptor sections in cascade. *)
+  let rec sections i prev =
+    if i > 5 then prev
+    else sections (i + 1) (wave_section b ~tag:(Printf.sprintf "s%d" i) ~input:prev)
+  in
+  let back = sections 1 front in
+  (* Output combiner: a chain of seven adders tapping the sections. *)
+  let taps =
+    List.init 5 (fun i -> Printf.sprintf "a2s%d" (i + 1))
+  in
+  let rec combine i prev = function
+    | [] -> prev
+    | tap :: rest ->
+        let a = adder b (Printf.sprintf "aout%d" i) in
+        edge b prev a;
+        edge b tap a;
+        combine (i + 1) a rest
+  in
+  let out5 = combine 1 back taps in
+  let out6 = adder b "aout6" in
+  let out7 = adder b "aout7" in
+  edge b out5 out6;
+  edge b out6 out7;
+  (* Close the outer loop so the graph is cyclic end to end, as scheduled
+     loop bodies are: the filter output conditions the next input. *)
+  edge b out7 in0 ~delay:2;
+  finish b "elliptic"
+
+let elliptic_op_counts = (26, 8)
+
+(* All-pole lattice recurrences, stage i of N:
+     f_{i-1}(n) = f_i(n) - k_i * b_{i-1}(n-1)
+     b_i(n)     = b_{i-1}(n-1) + k_i * f_{i-1}(n)
+   with f_N = input, y = f_0, b_0 = y.  The delayed b values are the
+   loop-carried dependencies. *)
+let lattice_stages stages =
+  if stages < 1 then invalid_arg "Filters.lattice_stages: need >= 1 stage";
+  let b = builder () in
+  let (_ : string) = adder b "in" in
+  let (_ : string) = adder b "out" in
+  for i = 1 to stages do
+    let (_ : string) = mult b (Printf.sprintf "mf%d" i) in
+    let (_ : string) = adder b (Printf.sprintf "af%d" i) in
+    let (_ : string) = mult b (Printf.sprintf "mb%d" i) in
+    let (_ : string) = adder b (Printf.sprintf "ab%d" i) in
+    let f_input = if i = stages then "in" else Printf.sprintf "af%d" (i + 1) in
+    let b_below = if i = 1 then "out" else Printf.sprintf "ab%d" (i - 1) in
+    edge b b_below (Printf.sprintf "mf%d" i) ~delay:1;
+    edge b f_input (Printf.sprintf "af%d" i);
+    edge b (Printf.sprintf "mf%d" i) (Printf.sprintf "af%d" i);
+    edge b (Printf.sprintf "af%d" i) (Printf.sprintf "mb%d" i);
+    edge b b_below (Printf.sprintf "ab%d" i) ~delay:1;
+    edge b (Printf.sprintf "mb%d" i) (Printf.sprintf "ab%d" i)
+  done;
+  edge b "af1" "out";
+  finish b (Printf.sprintf "lattice-%d" stages)
+
+let lattice = lattice_stages 3

@@ -1,0 +1,32 @@
+(** The filter benchmarks of the paper's Table 11.
+
+    The paper names "the 5th elliptic and lattice filter" without printing
+    their graphs; these are the classical high-level-synthesis benchmarks.
+    Their exact netlists are not recoverable from the paper, so both are
+    generated structurally here (documented in DESIGN.md §3):
+
+    - {!elliptic} has the canonical operation mix of the 5th-order
+      elliptic wave filter — 26 additions (1 time unit) and 8
+      multiplications (2 time units), 34 operations in all — arranged as
+      five one-multiplier adaptor sections with unit-delay state
+      feedback, an input scaling cascade and an output combiner.
+    - {!lattice} is the all-pole lattice filter recurrence
+      [f_{i-1} = f_i - k_i b_{i-1}]; [b_i = z^{-1} b_{i-1} + k_i f_{i-1}]
+      with 3 stages by default.
+
+    Table 11 applies a slow-down factor of 3; use
+    [Dataflow.Transform.slowdown g 3]. *)
+
+val elliptic : Dataflow.Csdfg.t
+(** 34 nodes: 26 adds (t=1), 8 multiplies (t=2); five unit-delay loops. *)
+
+val lattice : Dataflow.Csdfg.t
+(** [lattice_stages 3]. *)
+
+val lattice_stages : int -> Dataflow.Csdfg.t
+(** All-pole lattice filter with the given number of stages
+    (4 operations and one state delay per stage, plus input/output glue).
+    @raise Invalid_argument when [stages < 1]. *)
+
+val elliptic_op_counts : int * int
+(** [(additions, multiplications)] = (26, 8) — checked by the tests. *)

@@ -1,0 +1,227 @@
+type builder = {
+  mutable nodes : (string * int) list;
+  mutable edges : (string * string * int * int) list;
+}
+
+let builder () = { nodes = []; edges = [] }
+
+let node b label time =
+  b.nodes <- (label, time) :: b.nodes;
+  label
+
+let edge ?(delay = 0) ?(volume = 1) b src dst =
+  b.edges <- (src, dst, delay, volume) :: b.edges
+
+let finish b name =
+  Dataflow.Csdfg.make ~name ~nodes:(List.rev b.nodes) ~edges:(List.rev b.edges)
+
+let stencil1d ~points =
+  if points < 1 then invalid_arg "Kernels.stencil1d: need at least one point";
+  let b = builder () in
+  let name i = Printf.sprintf "p%d" i in
+  for i = 0 to points - 1 do
+    let (_ : string) = node b (name i) 1 in
+    ()
+  done;
+  for i = 0 to points - 1 do
+    edge b (name i) (name i) ~delay:1;
+    if i > 0 then edge b (name (i - 1)) (name i) ~delay:1;
+    if i < points - 1 then edge b (name (i + 1)) (name i) ~delay:1
+  done;
+  finish b (Printf.sprintf "stencil1d-%d" points)
+
+let matvec ~size =
+  if size < 1 then invalid_arg "Kernels.matvec: need size >= 1";
+  let b = builder () in
+  let x i = Printf.sprintf "x%d" i in
+  let m i j = Printf.sprintf "m%d_%d" i j in
+  let a i k = Printf.sprintf "a%d_%d" i k in
+  for i = 0 to size - 1 do
+    let (_ : string) = node b (x i) 1 in
+    ()
+  done;
+  for i = 0 to size - 1 do
+    for j = 0 to size - 1 do
+      let (_ : string) = node b (m i j) 2 in
+      (* x_j of the previous sweep feeds row i's product *)
+      edge b (x j) (m i j) ~delay:1
+    done;
+    (* adder chain folding the row's products into x_i *)
+    if size = 1 then edge b (m i 0) (x i)
+    else begin
+      for k = 1 to size - 1 do
+        let (_ : string) = node b (a i k) 1 in
+        ()
+      done;
+      edge b (m i 0) (a i 1);
+      edge b (m i 1) (a i 1);
+      for k = 2 to size - 1 do
+        edge b (a i (k - 1)) (a i k);
+        edge b (m i k) (a i k)
+      done;
+      edge b (a i (size - 1)) (x i)
+    end
+  done;
+  finish b (Printf.sprintf "matvec-%d" size)
+
+let lms ~taps =
+  if taps < 1 then invalid_arg "Kernels.lms: need at least one tap";
+  let b = builder () in
+  let (_ : string) = node b "x" 1 in
+  edge b "x" "x" ~delay:1;
+  (* filtering FIR: y = sum w_i * x(n - i) *)
+  for i = 0 to taps - 1 do
+    let mf = node b (Printf.sprintf "mf%d" i) 2 in
+    edge b "x" mf ~delay:i
+  done;
+  let rec sum_chain i prev =
+    if i >= taps then prev
+    else begin
+      let s = node b (Printf.sprintf "sum%d" i) 1 in
+      edge b prev s;
+      edge b (Printf.sprintf "mf%d" i) s;
+      sum_chain (i + 1) s
+    end
+  in
+  let y = if taps = 1 then "mf0" else sum_chain 1 "mf0" in
+  (* error: e = d(n) - y *)
+  let e = node b "err" 1 in
+  edge b y e;
+  (* coefficient update: w_i += mu * e * x(n - i), used next iteration *)
+  for i = 0 to taps - 1 do
+    let wu = node b (Printf.sprintf "wu%d" i) 2 in
+    let wa = node b (Printf.sprintf "wa%d" i) 1 in
+    edge b e wu;
+    edge b "x" wu ~delay:i;
+    edge b wu wa;
+    edge b wa wa ~delay:1;
+    edge b wa (Printf.sprintf "mf%d" i) ~delay:1
+  done;
+  finish b (Printf.sprintf "lms-%d" taps)
+
+let volterra =
+  let b = builder () in
+  let (_ : string) = node b "x" 1 in
+  edge b "x" "x" ~delay:1;
+  (* linear taps *)
+  for i = 0 to 2 do
+    let ml = node b (Printf.sprintf "ml%d" i) 2 in
+    edge b "x" ml ~delay:i
+  done;
+  (* second-order product terms x(n-i) * x(n-j) and their coefficients *)
+  let pairs = [ (0, 1); (0, 2); (1, 2) ] in
+  List.iter
+    (fun (i, j) ->
+      let pp = node b (Printf.sprintf "pp%d%d" i j) 2 in
+      edge b "x" pp ~delay:i;
+      edge b "x" pp ~delay:j;
+      let mq = node b (Printf.sprintf "mq%d%d" i j) 2 in
+      edge b pp mq)
+    pairs;
+  (* adder tree folding six terms into y *)
+  let terms =
+    [ "ml0"; "ml1"; "ml2"; "mq01"; "mq02"; "mq12" ]
+  in
+  let rec fold i prev = function
+    | [] -> prev
+    | t :: rest ->
+        let s = node b (Printf.sprintf "y%d" i) 1 in
+        edge b prev s;
+        edge b t s;
+        fold (i + 1) s rest
+  in
+  let y =
+    match terms with
+    | first :: rest -> fold 1 first rest
+    | [] -> assert false
+  in
+  (* close the outer loop: the output conditions the next input *)
+  edge b y "x" ~delay:2;
+  finish b "volterra2"
+
+let is_power_of_two x = x > 0 && x land (x - 1) = 0
+
+let fft_stage ~points =
+  if points < 2 || not (is_power_of_two points) then
+    invalid_arg "Kernels.fft_stage: points must be a power of two >= 2";
+  let b = builder () in
+  let x i = Printf.sprintf "x%d" i in
+  for i = 0 to points - 1 do
+    let (_ : string) = node b (x i) 1 in
+    ()
+  done;
+  let half = points / 2 in
+  for k = 0 to half - 1 do
+    let lo = x k and hi = x (k + half) in
+    let tw = node b (Printf.sprintf "w%d" k) 2 in
+    let sum = node b (Printf.sprintf "s%d" k) 1 in
+    let diff = node b (Printf.sprintf "d%d" k) 1 in
+    (* butterfly: (lo, hi) -> (lo + w*hi, lo - w*hi); the block is the
+       previous sweep's output, so inputs carry one delay *)
+    edge b hi tw ~delay:1;
+    edge b lo sum ~delay:1;
+    edge b tw sum;
+    edge b lo diff ~delay:1;
+    edge b tw diff;
+    (* outputs refresh the block for the next sweep *)
+    edge b sum lo;
+    edge b diff hi
+  done;
+  finish b (Printf.sprintf "fft-stage-%d" points)
+
+let biquad_cascade ~sections =
+  if sections < 1 then invalid_arg "Kernels.biquad_cascade: need >= 1 section";
+  let b = builder () in
+  let (_ : string) = node b "in" 1 in
+  edge b "in" "in" ~delay:1;
+  let prev = ref "in" in
+  for k = 1 to sections do
+    let w = node b (Printf.sprintf "w%d" k) 1 in
+    let a1 = node b (Printf.sprintf "a1_%d" k) 2 in
+    let a2 = node b (Printf.sprintf "a2_%d" k) 2 in
+    let b1 = node b (Printf.sprintf "b1_%d" k) 2 in
+    let y = node b (Printf.sprintf "y%d" k) 1 in
+    (* w(n) = input - a1 w(n-1) - a2 w(n-2) *)
+    edge b !prev w;
+    edge b w a1 ~delay:1;
+    edge b w a2 ~delay:2;
+    edge b a1 w;
+    edge b a2 w;
+    (* y(n) = w(n) + b1 w(n-1) *)
+    edge b w y;
+    edge b w b1 ~delay:1;
+    edge b b1 y;
+    prev := y
+  done;
+  finish b (Printf.sprintf "biquad-cascade-%d" sections)
+
+let wavefront ~size =
+  if size < 1 then invalid_arg "Kernels.wavefront: need size >= 1";
+  let b = builder () in
+  let cell i j = Printf.sprintf "c%d_%d" i j in
+  for i = 0 to size - 1 do
+    for j = 0 to size - 1 do
+      let (_ : string) = node b (cell i j) 1 in
+      ()
+    done
+  done;
+  for i = 0 to size - 1 do
+    for j = 0 to size - 1 do
+      (* west neighbour within the sweep *)
+      if j > 0 then edge b (cell i (j - 1)) (cell i j);
+      (* north and north-west from the previous sweep *)
+      if i > 0 then begin
+        edge b (cell (i - 1) j) (cell i j) ~delay:1;
+        if j > 0 then edge b (cell (i - 1) (j - 1)) (cell i j) ~delay:1
+      end;
+      (* the matrix itself carries over sweeps *)
+      edge b (cell i j) (cell i j) ~delay:1
+    done
+  done;
+  finish b (Printf.sprintf "wavefront-%d" size)
+
+let all () =
+  [
+    stencil1d ~points:8; matvec ~size:3; lms ~taps:4; volterra;
+    fft_stage ~points:8; biquad_cascade ~sections:3; wavefront ~size:4;
+  ]

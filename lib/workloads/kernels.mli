@@ -1,0 +1,45 @@
+(** Additional iterative loop kernels, parametric in problem size —
+    larger-scale inputs than the paper's examples for stress and
+    scalability experiments. *)
+
+val stencil1d : points:int -> Dataflow.Csdfg.t
+(** Jacobi-style 1-D stencil: each point averages itself and both
+    neighbours from the previous sweep (all dependencies carry one
+    delay; maximally pipelinable).  @raise Invalid_argument when
+    [points < 1]. *)
+
+val matvec : size:int -> Dataflow.Csdfg.t
+(** Iterated matrix-vector product [x <- A x]: one dot-product
+    (multiply + adder tree) per output element, previous-iteration
+    vector as input.  Nodes grow as [size^2].
+    @raise Invalid_argument when [size < 1]. *)
+
+val lms : taps:int -> Dataflow.Csdfg.t
+(** LMS adaptive FIR filter: the filtering FIR plus the coefficient
+    update loop — two coupled recurrences, a classic hard case for loop
+    scheduling.  @raise Invalid_argument when [taps < 1]. *)
+
+val volterra : Dataflow.Csdfg.t
+(** Second-order Volterra filter section (the benchmark used in the
+    rotation-scheduling literature): linear taps plus product terms,
+    with two-deep state. *)
+
+val fft_stage : points:int -> Dataflow.Csdfg.t
+(** One radix-2 butterfly stage applied to a streaming block of
+    [points] samples (a power of two >= 2): [points/2] butterflies (one
+    multiplier and two adders each), the block fed back with one delay.
+    @raise Invalid_argument when [points] is not a power of two >= 2. *)
+
+val biquad_cascade : sections:int -> Dataflow.Csdfg.t
+(** A chain of direct-form-II biquads (each with two state delays) —
+    the standard high-order IIR realization.
+    @raise Invalid_argument when [sections < 1]. *)
+
+val wavefront : size:int -> Dataflow.Csdfg.t
+(** A [size x size] wavefront recurrence (dynamic-programming style):
+    cell (i,j) needs its west neighbour this sweep and its north and
+    north-west neighbours from the previous sweep.
+    @raise Invalid_argument when [size < 1]. *)
+
+val all : unit -> Dataflow.Csdfg.t list
+(** One representative instance of each kernel. *)

@@ -1,0 +1,59 @@
+type params = {
+  nodes : int;
+  extra_edge_prob : float;
+  feedback_edges : int;
+  max_time : int;
+  max_volume : int;
+  max_delay : int;
+}
+
+let default =
+  {
+    nodes = 12;
+    extra_edge_prob = 0.25;
+    feedback_edges = 3;
+    max_time = 3;
+    max_volume = 3;
+    max_delay = 3;
+  }
+
+let label i = Printf.sprintf "n%d" i
+
+let generate_with ~connect ?(params = default) ~seed () =
+  if params.nodes < 1 then invalid_arg "Random_gen: need at least one node";
+  let rng = Random.State.make [| seed; params.nodes |] in
+  let int_in lo hi = lo + Random.State.int rng (hi - lo + 1) in
+  let n = params.nodes in
+  let nodes = List.init n (fun i -> (label i, int_in 1 (max 1 params.max_time))) in
+  let edges = ref [] in
+  let volume () = int_in 1 (max 1 params.max_volume) in
+  (* Forward DAG part: each non-root picks at least one earlier parent
+     when connectivity is requested, plus probabilistic fill-in. *)
+  for v = 1 to n - 1 do
+    if connect then begin
+      let u = Random.State.int rng v in
+      edges := (label u, label v, 0, volume ()) :: !edges
+    end;
+    for u = 0 to v - 1 do
+      if Random.State.float rng 1.0 < params.extra_edge_prob then
+        edges := (label u, label v, 0, volume ()) :: !edges
+    done
+  done;
+  (* Backward, delay-carrying edges keep every cycle legal. *)
+  for _ = 1 to params.feedback_edges do
+    if n >= 2 then begin
+      let v = int_in 1 (n - 1) in
+      let u = Random.State.int rng v in
+      edges :=
+        (label v, label u, int_in 1 (max 1 params.max_delay), volume ())
+        :: !edges
+    end
+    else
+      edges := (label 0, label 0, int_in 1 (max 1 params.max_delay), volume ()) :: !edges
+  done;
+  Dataflow.Csdfg.make
+    ~name:(Printf.sprintf "random-%d-%d" n seed)
+    ~nodes ~edges:(List.rev !edges)
+
+let generate ?params ~seed () = generate_with ~connect:false ?params ~seed ()
+let generate_connected ?params ~seed () = generate_with ~connect:true ?params ~seed ()

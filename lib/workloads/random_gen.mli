@@ -1,0 +1,25 @@
+(** Random legal CSDFGs for property-based testing.
+
+    Generation is seed-deterministic: a layered DAG of zero-delay edges
+    plus backward edges carrying positive delays, so every cycle crosses
+    at least one delayed edge and the graph is always legal. *)
+
+type params = {
+  nodes : int;  (** >= 1 *)
+  extra_edge_prob : float;  (** forward fill-in beyond the spanning chain *)
+  feedback_edges : int;  (** backward, delay-carrying edges *)
+  max_time : int;  (** node times drawn from [1 .. max_time] *)
+  max_volume : int;  (** volumes from [1 .. max_volume] *)
+  max_delay : int;  (** feedback delays from [1 .. max_delay] *)
+}
+
+val default : params
+(** 12 nodes, 0.25 fill-in, 3 feedbacks, times <= 3, volumes <= 3,
+    delays <= 3. *)
+
+val generate : ?params:params -> seed:int -> unit -> Dataflow.Csdfg.t
+(** Always legal ({!Dataflow.Csdfg.validate} = [Ok ()]). *)
+
+val generate_connected : ?params:params -> seed:int -> unit -> Dataflow.Csdfg.t
+(** Like {!generate} but guarantees a single weakly-connected component
+    (isolated prefixes are chained together). *)

@@ -1,0 +1,26 @@
+let all () =
+  [
+    ("fig1b", Examples.fig1b);
+    ("fig7", Examples.fig7);
+    ("tiny-chain", Examples.tiny_chain);
+    ("self-loop", Examples.self_loop);
+    ("two-chains", Examples.two_independent_chains);
+    ("elliptic", Filters.elliptic);
+    ("lattice", Filters.lattice);
+    ("elliptic-slow3", Dataflow.Transform.slowdown Filters.elliptic 3);
+    ("lattice-slow3", Dataflow.Transform.slowdown Filters.lattice 3);
+    ("fir8", Dsp.fir ~taps:8);
+    ("iir-biquad", Dsp.iir_biquad);
+    ("diffeq", Dsp.diffeq);
+    ("correlator4", Dsp.correlator ~lags:4);
+    ("stencil8", Kernels.stencil1d ~points:8);
+    ("matvec3", Kernels.matvec ~size:3);
+    ("lms4", Kernels.lms ~taps:4);
+    ("volterra", Kernels.volterra);
+    ("fft8", Kernels.fft_stage ~points:8);
+    ("biquad-cascade3", Kernels.biquad_cascade ~sections:3);
+    ("wavefront4", Kernels.wavefront ~size:4);
+  ]
+
+let find name = List.assoc_opt name (all ())
+let names () = List.map fst (all ())

@@ -1,0 +1,8 @@
+(** Registry of every named workload, for the CLI and the benches. *)
+
+val all : unit -> (string * Dataflow.Csdfg.t) list
+(** Name/graph pairs, names unique. *)
+
+val find : string -> Dataflow.Csdfg.t option
+
+val names : unit -> string list

@@ -1,0 +1,225 @@
+(* Heterogeneous-machine extension: per-processor cycle-time multipliers.
+   Uniform speeds must reproduce the homogeneous behaviour exactly; slow
+   processors must stretch occupancy everywhere consistently (validator,
+   simulator, metrics, exact solver). *)
+
+module Csdfg = Dataflow.Csdfg
+module Schedule = Cyclo.Schedule
+module Startup = Cyclo.Startup
+module Compaction = Cyclo.Compaction
+module Validator = Cyclo.Validator
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let fig1b = Workloads.Examples.fig1b
+
+let paper_mesh () =
+  Topology.relabel (Topology.mesh ~rows:2 ~cols:2)
+    Workloads.Examples.fig1_mesh_permutation
+
+let test_duration_formula () =
+  let s =
+    Schedule.empty ~speeds:[| 1; 3 |] fig1b (Cyclo.Comm.zero ~n:2 ~name:"z")
+  in
+  let b = Csdfg.node_of_label fig1b "B" in
+  check "fast pe" 2 (Schedule.duration s ~node:b ~pe:0);
+  check "slow pe" 6 (Schedule.duration s ~node:b ~pe:1);
+  check_bool "heterogeneous" true (Schedule.is_heterogeneous s)
+
+let test_speeds_validation () =
+  let comm = Cyclo.Comm.zero ~n:2 ~name:"z" in
+  check_bool "wrong size" true
+    (match Schedule.empty ~speeds:[| 1 |] fig1b comm with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "non-positive" true
+    (match Schedule.empty ~speeds:[| 1; 0 |] fig1b comm with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_uniform_speeds_is_default () =
+  let topo = paper_mesh () in
+  let plain = Startup.run_on fig1b topo in
+  let uniform = Startup.run_on ~speeds:[| 1; 1; 1; 1 |] fig1b topo in
+  check "identical schedules" 0 (Schedule.compare_assignments plain uniform);
+  check_bool "not heterogeneous" false (Schedule.is_heterogeneous plain)
+
+let test_assign_respects_slow_processor () =
+  let s =
+    Schedule.empty ~speeds:[| 1; 2 |] fig1b (Cyclo.Comm.zero ~n:2 ~name:"z")
+  in
+  let b = Csdfg.node_of_label fig1b "B" in
+  let a = Csdfg.node_of_label fig1b "A" in
+  let s = Schedule.assign s ~node:b ~cb:1 ~pe:1 in
+  (* B stretches to 4 steps on the slow processor *)
+  check "ce stretched" 4 (Schedule.ce s b);
+  check "length" 4 (Schedule.length s);
+  check_bool "slot 1-4 occupied" true
+    (match Schedule.assign s ~node:a ~cb:4 ~pe:1 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  let s = Schedule.assign s ~node:a ~cb:5 ~pe:1 in
+  check "A after B" 5 (Schedule.cb s a)
+
+let test_startup_prefers_fast_processors () =
+  (* Two processors, no communication, second one 5x slower: everything
+     should land on the fast one (spreading to the slow one only delays
+     completions the priority rule cares about). *)
+  let comm = Cyclo.Comm.zero ~n:2 ~name:"z" in
+  let s = Startup.run ~speeds:[| 1; 5 |] fig1b comm in
+  Validator.assert_legal s;
+  check_bool "simulate agrees" true (Validator.simulate s ~iterations:5 = Ok ())
+
+let test_compaction_on_heterogeneous_machine () =
+  let topo = paper_mesh () in
+  let speeds = [| 1; 2; 1; 3 |] in
+  let r = Compaction.run_on ~speeds fig1b topo in
+  check_bool "legal" true (Validator.is_legal r.Cyclo.Compaction.best);
+  check_bool "no longer than startup" true
+    (Schedule.length r.Cyclo.Compaction.best
+    <= Schedule.length r.Cyclo.Compaction.startup);
+  check_bool "simulate agrees" true
+    (Validator.simulate r.Cyclo.Compaction.best ~iterations:6 = Ok ())
+
+let test_slow_machine_schedules_longer () =
+  (* Making every processor k-times slower cannot shorten the table. *)
+  let topo = Topology.complete 4 in
+  let fast = Compaction.run_on fig1b topo in
+  let slow = Compaction.run_on ~speeds:[| 2; 2; 2; 2 |] fig1b topo in
+  check_bool "uniformly slower machine is slower" true
+    (Schedule.length slow.Cyclo.Compaction.best
+    >= Schedule.length fast.Cyclo.Compaction.best)
+
+let test_machine_simulator_heterogeneous () =
+  let topo = paper_mesh () in
+  let r = Compaction.run_on ~speeds:[| 1; 2; 2; 1 |] fig1b topo in
+  let best = r.Cyclo.Compaction.best in
+  let stats = Machine.Simulator.execute best topo ~iterations:10 in
+  check_bool "within static bound" true
+    (stats.Machine.Simulator.makespan
+    <= Machine.Simulator.static_bound best ~iterations:10);
+  (* busy time counts stretched durations *)
+  let total = Array.fold_left ( + ) 0 stats.Machine.Simulator.busy in
+  let expected =
+    10
+    * List.fold_left
+        (fun acc v ->
+          acc + Schedule.duration best ~node:v ~pe:(Schedule.pe best v))
+        0 (Csdfg.nodes fig1b)
+  in
+  check "busy accounting" expected total
+
+let test_exhaustive_heterogeneous () =
+  (* One fast and one slow processor, no comm: the exact optimum for
+     tiny-chain keeps the chain on the fast processor (length 4). *)
+  let g = Workloads.Examples.tiny_chain in
+  let comm = Cyclo.Comm.zero ~n:2 ~name:"z" in
+  match Cyclo.Exhaustive.solve ~speeds:[| 1; 10 |] g comm with
+  | Cyclo.Exhaustive.Gave_up _ -> Alcotest.fail "tiny instance"
+  | Cyclo.Exhaustive.Optimal s ->
+      check "optimal length" 4 (Schedule.length s);
+      List.iter (fun v -> check "on fast pe" 0 (Schedule.pe s v)) (Csdfg.nodes g)
+
+let test_baseline_repair_keeps_speeds () =
+  let topo = Topology.ring 4 in
+  let speeds = [| 1; 2; 1; 2 |] in
+  let zero = Cyclo.Comm.zero ~n:4 ~name:"z" in
+  let oblivious = Startup.run ~speeds fig1b zero in
+  let repaired = Cyclo.Baseline.repair oblivious (Cyclo.Comm.of_topology topo) in
+  Alcotest.(check (array int)) "speeds preserved" speeds
+    (Schedule.speeds repaired);
+  check_bool "legal" true (Validator.is_legal repaired)
+
+let test_metrics_utilization_heterogeneous () =
+  (* A single slow processor: utilization is still exactly 1 because
+     busy time is measured in stretched steps. *)
+  let comm = Cyclo.Comm.zero ~n:1 ~name:"z" in
+  let s = Startup.run ~speeds:[| 3 |] fig1b comm in
+  Alcotest.(check (float 1e-9)) "utilization" 1.0 (Cyclo.Metrics.utilization s);
+  check "length = 3x total time" (3 * Csdfg.total_time fig1b)
+    (Schedule.length s)
+
+let test_renderings_use_stretched_durations () =
+  (* B (t=2) on a 3x-slow processor spans six steps in every rendering. *)
+  let comm = Cyclo.Comm.zero ~n:2 ~name:"z" in
+  let s = Schedule.empty ~speeds:[| 1; 3 |] fig1b comm in
+  let s = Schedule.assign s ~node:(Csdfg.node_of_label fig1b "B") ~cb:1 ~pe:1 in
+  let contains hay needle =
+    let hl = String.length hay and nl = String.length needle in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  let csv = Cyclo.Export.to_csv s in
+  check_bool "csv ce stretched" true (contains csv "1,B,1,6,2");
+  let json = Cyclo.Export.to_json s in
+  check_bool "json duration stretched" true (contains json "\"time\":6");
+  let gantt = Cyclo.Export.gantt s in
+  check_bool "gantt draws a wide bar" true (contains gantt "B====")
+
+let test_csv_roundtrip_with_speeds () =
+  let comm = Cyclo.Comm.of_topology (paper_mesh ()) in
+  let speeds = [| 1; 2; 1; 2 |] in
+  let s = Startup.run ~speeds fig1b comm in
+  match Cyclo.Export.of_csv ~speeds fig1b comm (Cyclo.Export.to_csv s) with
+  | Error msg -> Alcotest.fail msg
+  | Ok s' ->
+      check "identical" 0 (Schedule.compare_assignments s s');
+      Alcotest.(check (array int)) "speeds kept" speeds (Schedule.speeds s')
+
+let test_property_random_speeds_legal () =
+  for seed = 0 to 24 do
+    let params =
+      { Workloads.Random_gen.default with nodes = 8; feedback_edges = 2 }
+    in
+    let g = Workloads.Random_gen.generate_connected ~params ~seed () in
+    let rng = Random.State.make [| seed |] in
+    let topo = Topology.ring 4 in
+    let speeds = Array.init 4 (fun _ -> 1 + Random.State.int rng 3) in
+    let r = Compaction.run_on ~speeds g topo in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d legal" seed)
+      true
+      (Validator.is_legal r.Cyclo.Compaction.best);
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d simulate" seed)
+      true
+      (Validator.simulate r.Cyclo.Compaction.best ~iterations:5 = Ok ())
+  done
+
+let () =
+  Alcotest.run "heterogeneous"
+    [
+      ( "schedule",
+        [
+          Alcotest.test_case "duration" `Quick test_duration_formula;
+          Alcotest.test_case "validation" `Quick test_speeds_validation;
+          Alcotest.test_case "uniform = default" `Quick
+            test_uniform_speeds_is_default;
+          Alcotest.test_case "slow occupancy" `Quick
+            test_assign_respects_slow_processor;
+        ] );
+      ( "scheduling",
+        [
+          Alcotest.test_case "startup" `Quick test_startup_prefers_fast_processors;
+          Alcotest.test_case "compaction" `Quick
+            test_compaction_on_heterogeneous_machine;
+          Alcotest.test_case "slower machine" `Quick
+            test_slow_machine_schedules_longer;
+          Alcotest.test_case "random speeds" `Quick
+            test_property_random_speeds_legal;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "simulator" `Quick test_machine_simulator_heterogeneous;
+          Alcotest.test_case "exhaustive" `Quick test_exhaustive_heterogeneous;
+          Alcotest.test_case "baseline repair" `Quick
+            test_baseline_repair_keeps_speeds;
+          Alcotest.test_case "metrics" `Quick
+            test_metrics_utilization_heterogeneous;
+          Alcotest.test_case "renderings" `Quick
+            test_renderings_use_stretched_durations;
+          Alcotest.test_case "csv roundtrip" `Quick
+            test_csv_roundtrip_with_speeds;
+        ] );
+    ]

@@ -1,0 +1,84 @@
+(* The domains-based parallel map must be indistinguishable from
+   List.map except for wall-clock time. *)
+
+let check_bool = Alcotest.(check bool)
+
+let test_matches_sequential () =
+  let xs = List.init 100 Fun.id in
+  Alcotest.(check (list int))
+    "same results, same order"
+    (List.map (fun x -> (x * x) + 1) xs)
+    (Parutil.Parallel.map (fun x -> (x * x) + 1) xs)
+
+let test_mapi_indices () =
+  let xs = [ "a"; "b"; "c"; "d" ] in
+  Alcotest.(check (list string))
+    "indices line up"
+    (List.mapi (fun i s -> Printf.sprintf "%d%s" i s) xs)
+    (Parutil.Parallel.mapi (fun i s -> Printf.sprintf "%d%s" i s) xs)
+
+let test_empty_and_singleton () =
+  Alcotest.(check (list int)) "empty" [] (Parutil.Parallel.map succ []);
+  Alcotest.(check (list int)) "singleton" [ 2 ] (Parutil.Parallel.map succ [ 1 ])
+
+let test_explicit_domain_counts () =
+  let xs = List.init 37 Fun.id in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "domains=%d" domains)
+        (List.map succ xs)
+        (Parutil.Parallel.map ~domains succ xs))
+    [ 1; 2; 3; 8; 64 ]
+
+exception Boom of int
+
+let test_exception_propagates () =
+  let xs = List.init 20 Fun.id in
+  check_bool "raises Boom" true
+    (match
+       Parutil.Parallel.map ~domains:4
+         (fun x -> if x = 13 then raise (Boom x) else x)
+         xs
+     with
+    | _ -> false
+    | exception Boom 13 -> true
+    | exception _ -> false)
+
+let test_recommended_positive () =
+  check_bool "at least one domain" true (Parutil.Parallel.recommended_domains () >= 1)
+
+let test_parallel_compaction_batch () =
+  (* the real use: a batch of compactions gives identical lengths in
+     parallel and sequentially *)
+  let cells =
+    [
+      (Workloads.Examples.fig1b, Topology.complete 4);
+      (Workloads.Dsp.diffeq, Topology.ring 4);
+      (Workloads.Dsp.iir_biquad, Topology.mesh ~rows:2 ~cols:2);
+      (Workloads.Kernels.volterra, Topology.hypercube 2);
+    ]
+  in
+  let run (g, topo) =
+    Cyclo.Schedule.length
+      (Cyclo.Compaction.run_on ~validate:false g topo).Cyclo.Compaction.best
+  in
+  Alcotest.(check (list int))
+    "parallel batch = sequential batch" (List.map run cells)
+    (Parutil.Parallel.map ~domains:4 run cells)
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "parallel-map",
+        [
+          Alcotest.test_case "matches sequential" `Quick test_matches_sequential;
+          Alcotest.test_case "mapi" `Quick test_mapi_indices;
+          Alcotest.test_case "edge sizes" `Quick test_empty_and_singleton;
+          Alcotest.test_case "domain counts" `Quick test_explicit_domain_counts;
+          Alcotest.test_case "exceptions" `Quick test_exception_propagates;
+          Alcotest.test_case "recommended" `Quick test_recommended_positive;
+          Alcotest.test_case "compaction batch" `Quick
+            test_parallel_compaction_batch;
+        ] );
+    ]

@@ -1,0 +1,147 @@
+(* Multi-application scheduling: region carving, both strategies, and
+   their invariants. *)
+
+module Partition = Cyclo.Partition
+module Schedule = Cyclo.Schedule
+module Csdfg = Dataflow.Csdfg
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let apps () =
+  [ Workloads.Dsp.iir_biquad; Workloads.Dsp.diffeq; Workloads.Kernels.volterra ]
+
+let test_partitioned_covers_processors () =
+  match Partition.partitioned (apps ()) (Topology.mesh ~rows:2 ~cols:4) with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      let all =
+        List.concat_map (fun p -> p.Partition.processors) r.Partition.placements
+      in
+      check "every processor used once" 8
+        (List.length (List.sort_uniq compare all));
+      check "no double assignment" (List.length all)
+        (List.length (List.sort_uniq compare all));
+      List.iter
+        (fun p ->
+          check_bool
+            (Csdfg.name p.Partition.graph ^ " schedule legal")
+            true
+            (Cyclo.Validator.is_legal p.Partition.schedule);
+          check
+            (Csdfg.name p.Partition.graph ^ " region size matches machine")
+            (List.length p.Partition.processors)
+            (Schedule.n_processors p.Partition.schedule))
+        r.Partition.placements
+
+let test_partitioned_period_is_worst_length () =
+  match Partition.partitioned (apps ()) (Topology.mesh ~rows:2 ~cols:4) with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      let worst =
+        List.fold_left
+          (fun acc p -> max acc (Schedule.length p.Partition.schedule))
+          0 r.Partition.placements
+      in
+      check "period" worst r.Partition.period
+
+let test_partitioned_work_proportionality () =
+  (* the heaviest application gets the biggest region *)
+  match Partition.partitioned (apps ()) (Topology.mesh ~rows:2 ~cols:4) with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      let sizes =
+        List.map
+          (fun p ->
+            (Csdfg.total_time p.Partition.graph,
+             List.length p.Partition.processors))
+          r.Partition.placements
+      in
+      let sorted_by_work = List.sort compare sizes in
+      let region_sizes = List.map snd sorted_by_work in
+      check_bool "monotone in work" true
+        (List.sort compare region_sizes = region_sizes)
+
+let test_fused_shares_everything () =
+  match Partition.fused (apps ()) (Topology.mesh ~rows:2 ~cols:4) with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      List.iter
+        (fun p -> check "full machine" 8 (List.length p.Partition.processors))
+        r.Partition.placements;
+      check "three placements" 3 (List.length r.Partition.placements);
+      check_bool "shared schedule legal" true
+        (Cyclo.Validator.is_legal
+           (List.hd r.Partition.placements).Partition.schedule)
+
+let test_single_app_partitioned_gets_whole_machine () =
+  match
+    Partition.partitioned [ Workloads.Examples.fig7 ] (Topology.ring 8)
+  with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      check "one region" 1 (List.length r.Partition.placements);
+      check "all processors" 8
+        (List.length (List.hd r.Partition.placements).Partition.processors)
+
+let test_too_many_apps_rejected () =
+  let many = List.init 5 (fun _ -> Workloads.Examples.tiny_chain) in
+  check_bool "5 apps on 4 processors" true
+    (Result.is_error (Partition.partitioned many (Topology.ring 4)))
+
+let test_empty_rejected () =
+  check_bool "no apps" true
+    (Result.is_error (Partition.partitioned [] (Topology.ring 4)));
+  check_bool "no apps fused" true
+    (Result.is_error (Partition.fused [] (Topology.ring 4)))
+
+let test_partitioned_on_all_standard_topologies () =
+  List.iter
+    (fun topo ->
+      match
+        Partition.partitioned
+          [ Workloads.Dsp.iir_biquad; Workloads.Dsp.diffeq ]
+          topo
+      with
+      | Error e -> Alcotest.fail (Topology.name topo ^ ": " ^ e)
+      | Ok r ->
+          List.iter
+            (fun p ->
+              Alcotest.(check bool)
+                (Topology.name topo ^ " legal")
+                true
+                (Cyclo.Validator.is_legal p.Partition.schedule))
+            r.Partition.placements)
+    [
+      Topology.linear_array 8;
+      Topology.ring 8;
+      Topology.complete 8;
+      Topology.mesh ~rows:2 ~cols:4;
+      Topology.hypercube 3;
+      Topology.star 8;
+      Topology.binary_tree 8;
+    ]
+
+let () =
+  Alcotest.run "partition"
+    [
+      ( "partitioned",
+        [
+          Alcotest.test_case "covers processors" `Quick
+            test_partitioned_covers_processors;
+          Alcotest.test_case "period" `Quick test_partitioned_period_is_worst_length;
+          Alcotest.test_case "work proportional" `Quick
+            test_partitioned_work_proportionality;
+          Alcotest.test_case "single app" `Quick
+            test_single_app_partitioned_gets_whole_machine;
+          Alcotest.test_case "all topologies" `Quick
+            test_partitioned_on_all_standard_topologies;
+        ] );
+      ( "fused",
+        [ Alcotest.test_case "shares machine" `Quick test_fused_shares_everything ] );
+      ( "errors",
+        [
+          Alcotest.test_case "too many apps" `Quick test_too_many_apps_rejected;
+          Alcotest.test_case "empty" `Quick test_empty_rejected;
+        ] );
+    ]
