@@ -1,0 +1,207 @@
+(* Scheduler hot-path benchmarks (Bechamel), emitting BENCH_sched.json.
+
+     dune exec bench/sched_bench.exe            # full measurement
+     dune exec bench/sched_bench.exe -- --quick # CI smoke (short quota)
+
+   The headline comparison is [Startup.run] against [Naive.run], a
+   faithful port of the pre-occupancy-index start-up scheduler (O(V)
+   placement scans, step-by-step control-step sweep, arrival bounds
+   recomputed per query).  Both produce byte-identical schedules — the
+   golden-signature test asserts that — so the ratio isolates the cost
+   of the data structures.  The remaining benches track one
+   rotate-and-remap pass and full compaction drives on the two largest
+   shipped workloads across three 8-16 PE machines. *)
+
+module Csdfg = Dataflow.Csdfg
+module G = Digraph.Graph
+module Schedule = Cyclo.Schedule
+module Comm = Cyclo.Comm
+module Priority = Cyclo.Priority
+module Compaction = Cyclo.Compaction
+module Timing = Cyclo.Timing
+
+(* ------------------------------------------------------------------ *)
+(* Naive baseline: the pre-index start-up scheduler, via public API     *)
+(* ------------------------------------------------------------------ *)
+
+module Naive = struct
+  let arrival_bound dfg comm sched v p =
+    let from_edge acc (e : Csdfg.attr G.edge) =
+      if Csdfg.delay e <> 0 then acc
+      else begin
+        let u = e.G.src in
+        let m =
+          Comm.cost comm ~src:(Schedule.pe sched u) ~dst:p
+            ~volume:(Csdfg.volume e)
+        in
+        max acc (Schedule.ce sched u + m)
+      end
+    in
+    List.fold_left from_edge 0 (Csdfg.pred dfg v)
+
+  let run dfg comm =
+    let priority = Priority.create dfg in
+    let dag = Csdfg.zero_delay_graph dfg in
+    let n = Csdfg.n_nodes dfg in
+    let np = Comm.n_processors comm in
+    let remaining_preds = Array.init n (G.in_degree dag) in
+    let in_list = Array.make n false in
+    let ready = ref [] in
+    let pending = ref [] in
+    let promote v =
+      if remaining_preds.(v) = 0 && not in_list.(v) then begin
+        in_list.(v) <- true;
+        pending := v :: !pending
+      end
+    in
+    List.iter promote (Csdfg.nodes dfg);
+    let sched = ref (Schedule.empty dfg comm) in
+    let unscheduled = ref n in
+    let cs = ref 1 in
+    while !unscheduled > 0 do
+      ready := List.rev_append !pending !ready;
+      pending := [];
+      let order = Priority.sort_ready priority !sched ~cs:!cs !ready in
+      let place v =
+        let feasible p =
+          arrival_bound dfg comm !sched v p < !cs
+          && Schedule.is_free !sched ~pe:p ~cb:!cs
+               ~span:(Schedule.duration !sched ~node:v ~pe:p)
+        in
+        let candidates =
+          List.filter feasible (List.init np Fun.id)
+          |> List.map (fun p -> (arrival_bound dfg comm !sched v p, p))
+          |> List.sort compare
+        in
+        match candidates with
+        | [] -> true
+        | (_, p) :: _ ->
+            sched := Schedule.assign !sched ~node:v ~cb:!cs ~pe:p;
+            decr unscheduled;
+            let release (e : Csdfg.attr G.edge) =
+              let w = e.G.dst in
+              remaining_preds.(w) <- remaining_preds.(w) - 1;
+              promote w
+            in
+            List.iter release (G.succ dag v);
+            false
+      in
+      ready := List.filter place order;
+      incr cs
+    done;
+    let sched = !sched in
+    Schedule.set_length sched (Timing.required_length sched)
+
+  let run_on dfg topo = run dfg (Comm.of_topology topo)
+end
+
+(* ------------------------------------------------------------------ *)
+(* The suite                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let workloads () =
+  [ ("elliptic", Workloads.Filters.elliptic); ("lms4", Workloads.Kernels.lms ~taps:4) ]
+
+let topologies () =
+  [
+    ("linear8", Topology.linear_array 8);
+    ("mesh4x4", Topology.mesh ~rows:4 ~cols:4);
+    ("cube3", Topology.hypercube 3);
+  ]
+
+let tests () =
+  let open Bechamel in
+  let elliptic = List.assoc "elliptic" (workloads ()) in
+  let mesh16 = List.assoc "mesh4x4" (topologies ()) in
+  let startup_pair =
+    [
+      Test.make ~name:"startup-new-elliptic-mesh4x4"
+        (Staged.stage (fun () -> ignore (Cyclo.Startup.run_on elliptic mesh16)));
+      Test.make ~name:"startup-naive-elliptic-mesh4x4"
+        (Staged.stage (fun () -> ignore (Naive.run_on elliptic mesh16)));
+    ]
+  in
+  let one_pass =
+    let s = Cyclo.Startup.run_on elliptic mesh16 in
+    Test.make ~name:"compaction-pass-elliptic-mesh4x4"
+      (Staged.stage (fun () ->
+           ignore (Compaction.pass Cyclo.Remap.With_relaxation s)))
+  in
+  let drives =
+    List.concat_map
+      (fun (wn, g) ->
+        List.map
+          (fun (tn, topo) ->
+            Test.make
+              ~name:(Printf.sprintf "drive-%s-%s" wn tn)
+              (Staged.stage (fun () ->
+                   ignore (Compaction.run_on ~validate:false g topo))))
+          (topologies ()))
+      (workloads ())
+  in
+  startup_pair @ (one_pass :: drives)
+
+let measure ~quota tests =
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None () in
+  List.concat_map
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.fold
+        (fun name ols_result acc ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ ns ] -> (name, ns) :: acc
+          | Some _ | None -> acc)
+        analyzed [])
+    tests
+
+let json_escape s =
+  String.concat ""
+    (List.map
+       (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let emit_json path rows =
+  let find name = List.assoc_opt name rows in
+  let speedup =
+    match
+      ( find "startup-naive-elliptic-mesh4x4",
+        find "startup-new-elliptic-mesh4x4" )
+    with
+    | Some naive, Some indexed when indexed > 0. -> Some (naive /. indexed)
+    | _ -> None
+  in
+  let oc = open_out path in
+  output_string oc "{\n  \"benchmarks\": [\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "    {\"name\": \"%s\", \"ns_per_run\": %.1f}%s\n"
+        (json_escape name) ns
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  output_string oc "  ]";
+  (match speedup with
+  | Some r ->
+      Printf.fprintf oc ",\n  \"startup_speedup_elliptic_mesh4x4\": %.2f" r
+  | None -> ());
+  output_string oc "\n}\n";
+  close_out oc;
+  (match speedup with
+  | Some r -> Fmt.pr "startup speedup (naive / indexed): %.2fx@." r
+  | None -> ());
+  Fmt.pr "wrote %s@." path
+
+let () =
+  let quick = Array.exists (( = ) "--quick") Sys.argv in
+  let quota = if quick then 0.05 else 0.5 in
+  let rows =
+    measure ~quota (tests ())
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter (fun (name, ns) -> Fmt.pr "%-36s %14.1f ns/run@." name ns) rows;
+  emit_json "BENCH_sched.json" rows

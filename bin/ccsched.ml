@@ -373,6 +373,12 @@ let pipeline_cmd =
         exit 1
     | Ok p ->
         Fmt.pr "%a@." (Cyclo.Pipeline.pp g) p;
+        (* short loops (N < depth) execute a clamped prologue *)
+        if Cyclo.Pipeline.prologue_length_for p ~n
+           <> Cyclo.Pipeline.prologue_length p
+        then
+          Fmt.pr "prologue (N=%d): clamped to %d instruction(s)@." n
+            (Cyclo.Pipeline.prologue_length_for p ~n);
         Fmt.pr "epilogue (N=%d): %d instruction(s)@." n
           (Cyclo.Pipeline.epilogue_length p ~n);
         Fmt.pr "overhead (N=%d): %.4f%%@." n

@@ -15,7 +15,15 @@ let wormhole topo =
     cost_fn = (fun p q m -> Topology.hops topo p q + m - 1);
   }
 
-let zero ~n ~name = { n; name; cost_fn = (fun _ _ _ -> 0) }
+(* Every constructor must reject n <= 0: a processor-less comm would make
+   the schedulers sweep forever and die with a misleading internal error. *)
+let check_processors ctx n =
+  if n <= 0 then
+    invalid_arg (Printf.sprintf "Comm.%s: need at least one processor" ctx)
+
+let zero ~n ~name =
+  check_processors "zero" n;
+  { n; name; cost_fn = (fun _ _ _ -> 0) }
 
 let scaled topo ~factor =
   if factor < 0 then invalid_arg "Comm.scaled: negative factor";
@@ -26,11 +34,12 @@ let scaled topo ~factor =
   }
 
 let uniform ~n ~latency ~name =
+  check_processors "uniform" n;
   if latency < 0 then invalid_arg "Comm.uniform: negative latency";
   { n; name; cost_fn = (fun _ _ m -> latency * m) }
 
 let custom ~n ~name cost_fn =
-  if n <= 0 then invalid_arg "Comm.custom: need at least one processor";
+  check_processors "custom" n;
   { n; name; cost_fn }
 
 let n_processors t = t.n

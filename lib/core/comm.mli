@@ -21,7 +21,8 @@ val wormhole : Topology.t -> t
 
 val zero : n:int -> name:string -> t
 (** [n] processors, all communication free — the model implicitly assumed
-    by communication-oblivious schedulers. *)
+    by communication-oblivious schedulers.
+    @raise Invalid_argument if [n <= 0]. *)
 
 val scaled : Topology.t -> factor:int -> t
 (** Topology costs multiplied by a factor (ablation: slower links).
@@ -29,11 +30,14 @@ val scaled : Topology.t -> factor:int -> t
 
 val uniform : n:int -> latency:int -> name:string -> t
 (** Every distinct pair costs [latency * volume] — an idealised crossbar
-    with non-zero link time. *)
+    with non-zero link time.
+    @raise Invalid_argument if [n <= 0] or [latency < 0]. *)
 
 val custom : n:int -> name:string -> (int -> int -> int -> int) -> t
 (** Arbitrary cost function [src dst volume] (only consulted for
-    [src <> dst]).  @raise Invalid_argument if [n <= 0]. *)
+    [src <> dst]).  The schedulers require the cost to be non-negative
+    and (for sensible fuel bounds) monotone in [volume]; linearity is
+    {e not} assumed.  @raise Invalid_argument if [n <= 0]. *)
 
 val n_processors : t -> int
 val name : t -> string

@@ -52,19 +52,19 @@ let pass ?scoring mode sched =
       | Remap.Stuck -> (sched, Stuck))
 
 (* A state repeats when both the placement and the (retimed) delay
-   distribution repeat. *)
-let state_signature sched =
+   distribution repeat.  Hashed structurally (no string building): the
+   drive loop runs this once per pass, and string signatures of large
+   graphs dominated the pass bookkeeping. *)
+let state_hash sched =
   let dfg = Schedule.dfg sched in
-  let delays =
-    Csdfg.edges dfg
-    |> List.map (fun e -> string_of_int (Csdfg.delay e))
-    |> String.concat ","
-  in
-  Schedule.signature sched ^ "|" ^ delays
+  List.fold_left
+    (fun h e -> (h lxor Csdfg.delay e) * 0x100000001b3)
+    (Schedule.hash sched) (Csdfg.edges dfg)
+  land max_int
 
 let drive ~mode ?scoring ~budget ~validate startup =
-  let seen = Hashtbl.create 64 in
-  Hashtbl.add seen (state_signature startup) ();
+  let seen : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  Hashtbl.add seen (state_hash startup) ();
   let rec loop i sched best trace =
     if i > budget then (sched, best, List.rev trace, false)
     else begin
@@ -82,7 +82,7 @@ let drive ~mode ?scoring ~budget ~validate startup =
       let best =
         if Schedule.length next < Schedule.length best then next else best
       in
-      let signature = state_signature next in
+      let signature = state_hash next in
       if outcome = Stuck || Hashtbl.mem seen signature then
         (next, best, List.rev (entry :: trace), true)
       else begin

@@ -6,6 +6,7 @@ type t = {
   retiming : Dataflow.Retiming.r;
   depth : int;
   prologue : instruction list;
+  prologue_per_n : int -> instruction list;
   epilogue_per_n : int -> instruction list;
   kernel : Schedule.t;
 }
@@ -33,6 +34,19 @@ let build ~original kernel =
           (Csdfg.nodes original)
         |> instructions_ordered
       in
+      (* When the loop runs fewer iterations than the pipeline is deep,
+         the steady-state prologue would execute iterations [>= n] that
+         the loop never requested — clamp each node to iteration [< n]. *)
+      let prologue_per_n n =
+        if n >= depth then prologue
+        else
+          List.concat_map
+            (fun v ->
+              List.init (min r.(v) (max 0 n))
+                (fun iteration -> { node = v; iteration }))
+            (Csdfg.nodes original)
+          |> instructions_ordered
+      in
       let epilogue_per_n n =
         if n < depth then
           (* Degenerate: fewer iterations than the pipeline depth; the
@@ -53,31 +67,29 @@ let build ~original kernel =
             (Csdfg.nodes original)
           |> instructions_ordered
       in
-      Ok { retiming = r; depth; prologue; epilogue_per_n; kernel }
+      Ok { retiming = r; depth; prologue; prologue_per_n; epilogue_per_n; kernel }
 
 let prologue_length t = List.length t.prologue
+let prologue_length_for t ~n = List.length (t.prologue_per_n n)
 let epilogue_length t ~n = List.length (t.epilogue_per_n n)
+
+let work_of t instrs =
+  let dfg = Schedule.dfg t.kernel in
+  List.fold_left (fun acc i -> acc + Csdfg.time dfg i.node) 0 instrs
 
 let overhead_ratio t ~n =
   let dfg = Schedule.dfg t.kernel in
-  let work instrs =
-    List.fold_left (fun acc i -> acc + Csdfg.time dfg i.node) 0 instrs
-  in
   let total = n * Csdfg.total_time dfg in
   if total = 0 then 0.
   else
-    float_of_int (work t.prologue + work (t.epilogue_per_n n))
+    float_of_int (work_of t (t.prologue_per_n n) + work_of t (t.epilogue_per_n n))
     /. float_of_int total
 
 let total_time t ~n =
-  let dfg = Schedule.dfg t.kernel in
-  let work instrs =
-    List.fold_left (fun acc i -> acc + Csdfg.time dfg i.node) 0 instrs
-  in
   let kernel_reps = max 0 (n - t.depth) in
-  work t.prologue
+  work_of t (t.prologue_per_n n)
   + (kernel_reps * Schedule.length t.kernel)
-  + work (t.epilogue_per_n n)
+  + work_of t (t.epilogue_per_n n)
 
 let pp dfg ppf t =
   Fmt.pf ppf "@[<v>pipeline depth %d, prologue %d instruction(s)@," t.depth

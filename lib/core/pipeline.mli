@@ -17,7 +17,13 @@ type instruction = {
 type t = {
   retiming : Dataflow.Retiming.r;  (** cumulative, component-normalized *)
   depth : int;  (** max retiming = pipeline depth in iterations *)
-  prologue : instruction list;  (** ordered by iteration, then node *)
+  prologue : instruction list;
+      (** steady-state prologue (valid for [n >= depth]), ordered by
+          iteration, then node *)
+  prologue_per_n : int -> instruction list;
+      (** prologue for a total loop count [n]: equals [prologue] for
+          [n >= depth]; for shorter loops each node is clamped to
+          iterations [< n] so no unrequested iteration executes *)
   epilogue_per_n : int -> instruction list;
       (** epilogue for a total loop count [n] *)
   kernel : Schedule.t;
@@ -29,19 +35,25 @@ val build : original:Dataflow.Csdfg.t -> Schedule.t -> (t, string) result
     not a retiming of [original] (different graph or corrupted delays). *)
 
 val prologue_length : t -> int
-(** Number of prologue instructions ([sum r]). *)
+(** Number of steady-state prologue instructions ([sum r]). *)
+
+val prologue_length_for : t -> n:int -> int
+(** Number of prologue instructions actually executed for [n] total
+    iterations (clamped in the degenerate [n < depth] case). *)
 
 val epilogue_length : t -> n:int -> int
 (** Number of epilogue instructions for [n] total iterations. *)
 
 val overhead_ratio : t -> n:int -> float
 (** (prologue + epilogue work) / (total work over [n] iterations) — the
-    quantity the paper assumes is negligible for large [n]. *)
+    quantity the paper assumes is negligible for large [n].  Uses the
+    [n]-clamped prologue, so degenerate short loops are not
+    over-counted. *)
 
 val total_time : t -> n:int -> int
-(** Wall-clock control steps to run [n] iterations: sequential prologue
-    and epilogue around [n - depth] kernel repetitions (a conservative
-    upper bound; prologue instructions are counted at their computation
-    time with no overlap). *)
+(** Wall-clock control steps to run [n] iterations: sequential
+    ([n]-clamped) prologue and epilogue around [max 0 (n - depth)] kernel
+    repetitions (a conservative upper bound; prologue instructions are
+    counted at their computation time with no overlap). *)
 
 val pp : Dataflow.Csdfg.t -> Format.formatter -> t -> unit

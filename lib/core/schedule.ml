@@ -2,13 +2,29 @@ module Csdfg = Dataflow.Csdfg
 
 type entry = { cb : int; pe : int }
 
+(* One occupied run of control steps on a processor.  Per-processor lists
+   are kept ascending by [lo] and pairwise disjoint (assign enforces
+   disjointness), which also makes them ascending by [hi]. *)
+type interval = { lo : int; hi : int; node : int }
+
 type t = {
   dfg : Csdfg.t;
   comm : Comm.t;
   speeds : int array;  (* per-processor cycle-time multiplier, >= 1 *)
   entries : entry option array;
+  occ : interval list array;  (* occupancy index: one sorted list per PE *)
   length : int;
 }
+
+let insert_interval iv l =
+  let rec go = function
+    | [] -> [ iv ]
+    | x :: _ as l when iv.lo < x.lo -> iv :: l
+    | x :: rest -> x :: go rest
+  in
+  go l
+
+let remove_interval node l = List.filter (fun iv -> iv.node <> node) l
 
 let empty ?speeds dfg comm =
   let np = Comm.n_processors comm in
@@ -25,7 +41,7 @@ let empty ?speeds dfg comm =
         Array.copy s
   in
   { dfg; comm; speeds; entries = Array.make (Csdfg.n_nodes dfg) None;
-    length = 0 }
+    occ = Array.make np []; length = 0 }
 
 let speeds t = Array.copy t.speeds
 let is_heterogeneous t = Array.exists (fun s -> s <> t.speeds.(0)) t.speeds
@@ -69,14 +85,15 @@ let ce t v =
   let e = get_exn t v "ce" in
   e.cb + span t v e - 1
 
+(* Disjoint intervals sorted by [lo] are also sorted by [hi], so the
+   last interval of each processor carries that processor's largest CE. *)
 let rows_needed t =
-  let acc = ref 0 in
-  Array.iteri
-    (fun v -> function
-      | Some e -> acc := max !acc (e.cb + span t v e - 1)
-      | None -> ())
-    t.entries;
-  !acc
+  let rec last_hi acc = function
+    | [] -> acc
+    | [ iv ] -> max acc iv.hi
+    | _ :: rest -> last_hi acc rest
+  in
+  Array.fold_left last_hi 0 t.occ
 
 let set_length t len =
   if len < rows_needed t then
@@ -84,25 +101,22 @@ let set_length t len =
   { t with length = len }
 
 let node_at t ~pe ~cs =
-  let hit = ref None in
-  Array.iteri
-    (fun v -> function
-      | Some e when e.pe = pe && e.cb <= cs && cs <= e.cb + span t v e - 1 ->
-          hit := Some v
-      | Some _ | None -> ())
-    t.entries;
-  !hit
+  let rec go = function
+    | [] -> None
+    | iv :: rest ->
+        if iv.lo > cs then None
+        else if cs <= iv.hi then Some iv.node
+        else go rest
+  in
+  go t.occ.(pe)
 
 let is_free t ~pe ~cb ~span:width =
-  let busy = ref false in
-  Array.iteri
-    (fun v -> function
-      | Some e when e.pe = pe ->
-          let lo = e.cb and hi = e.cb + span t v e - 1 in
-          if not (hi < cb || lo > cb + width - 1) then busy := true
-      | Some _ | None -> ())
-    t.entries;
-  not !busy
+  let hi_q = cb + width - 1 in
+  let rec go = function
+    | [] -> true
+    | iv :: rest -> if iv.hi < cb then go rest else iv.lo > hi_q
+  in
+  go t.occ.(pe)
 
 let assign t ~node ~cb ~pe =
   if cb < 1 then invalid_arg "Schedule.assign: control steps start at 1";
@@ -119,13 +133,17 @@ let assign t ~node ~cb ~pe =
          cb (cb + span - 1));
   let entries = Array.copy t.entries in
   entries.(node) <- Some { cb; pe };
-  { t with entries; length = max t.length (cb + span - 1) }
+  let occ = Array.copy t.occ in
+  occ.(pe) <- insert_interval { lo = cb; hi = cb + span - 1; node } occ.(pe);
+  { t with entries; occ; length = max t.length (cb + span - 1) }
 
 let unassign t node =
-  ignore (get_exn t node "unassign");
+  let e = get_exn t node "unassign" in
   let entries = Array.copy t.entries in
   entries.(node) <- None;
-  { t with entries }
+  let occ = Array.copy t.occ in
+  occ.(e.pe) <- remove_interval node occ.(e.pe);
+  { t with entries; occ }
 
 let unassign_all t nodes = List.fold_left unassign t nodes
 
@@ -149,43 +167,40 @@ let with_comm t comm =
 
 let first_free_slot t ~pe ~from ~span:width =
   let from = max 1 from in
-  (* Collect this processor's busy intervals and scan forward. *)
-  let busy = ref [] in
-  Array.iteri
-    (fun v -> function
-      | Some e when e.pe = pe -> busy := (e.cb, e.cb + span t v e - 1) :: !busy
-      | Some _ | None -> ())
-    t.entries;
-  let busy = List.sort compare !busy in
   let rec scan cs = function
     | [] -> cs
-    | (lo, hi) :: rest ->
-        if hi < cs then scan cs rest
-        else if lo > cs + width - 1 then cs
-        else scan (hi + 1) rest
+    | iv :: rest ->
+        if iv.hi < cs then scan cs rest
+        else if iv.lo > cs + width - 1 then cs
+        else scan (iv.hi + 1) rest
   in
-  scan from busy
+  scan from t.occ.(pe)
 
 let first_row t =
-  let acc = ref [] in
-  Array.iteri
-    (fun v -> function Some e when e.cb = 1 -> acc := v :: !acc | _ -> ())
-    t.entries;
-  List.rev !acc
+  (* Only the head of a processor's sorted list can start at row 1. *)
+  let heads =
+    Array.fold_left
+      (fun acc -> function iv :: _ when iv.lo = 1 -> iv.node :: acc | _ -> acc)
+      [] t.occ
+  in
+  List.sort compare heads
 
 let shift_up t =
-  Array.iteri
-    (fun v -> function
-      | Some e when e.cb = 1 ->
-          invalid_arg
-            (Printf.sprintf "Schedule.shift_up: node %s starts at row 1"
-               (Csdfg.label t.dfg v))
-      | Some _ | None -> ())
-    t.entries;
+  (match first_row t with
+  | v :: _ ->
+      invalid_arg
+        (Printf.sprintf "Schedule.shift_up: node %s starts at row 1"
+           (Csdfg.label t.dfg v))
+  | [] -> ());
   let entries =
     Array.map (Option.map (fun e -> { e with cb = e.cb - 1 })) t.entries
   in
-  { t with entries; length = max 0 (t.length - 1) }
+  let occ =
+    Array.map
+      (List.map (fun iv -> { iv with lo = iv.lo - 1; hi = iv.hi - 1 }))
+      t.occ
+  in
+  { t with entries; occ; length = max 0 (t.length - 1) }
 
 let normalize t =
   let rec settle t =
@@ -213,6 +228,20 @@ let signature t =
       | Some e -> Buffer.add_string buf (Printf.sprintf ";%d@%d" e.cb e.pe))
     t.entries;
   Buffer.contents buf
+
+(* FNV-1a over (length, per-node cb/pe); native-int wraparound is the
+   implicit modulus.  Equal assignments hash equal; the converse holds up
+   to hash collisions — callers needing certainty use
+   [compare_assignments]. *)
+let hash t =
+  let mix h x = (h lxor x) * 0x100000001b3 in
+  let h = ref (mix 0x2545f4914f6cdd1d t.length) in
+  Array.iter
+    (function
+      | None -> h := mix !h (-1)
+      | Some e -> h := mix (mix !h e.cb) e.pe)
+    t.entries;
+  !h land max_int
 
 let pp ppf t =
   let np = n_processors t in

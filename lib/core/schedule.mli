@@ -8,7 +8,15 @@
 
     The table [length] can exceed the last occupied row: trailing idle
     steps are how the projected-schedule-length constraint (Lemma 4.3) is
-    honoured. *)
+    honoured.
+
+    Placement queries are served from an incremental per-processor
+    occupancy index (sorted disjoint intervals per PE, maintained by
+    {!assign} / {!unassign} / {!shift_up}) rather than by scanning every
+    node: with [k] the number of nodes on the queried processor,
+    {!is_free}, {!node_at} and {!first_free_slot} are O(k) with early
+    exit, {!first_row} and {!rows_needed} are O(P) over the per-PE list
+    heads/tails instead of O(V) over all entries. *)
 
 type entry = { cb : int; pe : int }
 
@@ -104,6 +112,11 @@ val compare_assignments : t -> t -> int
 val signature : t -> string
 (** Compact canonical string of (length, entries); equal iff
     {!compare_assignments} = 0. *)
+
+val hash : t -> int
+(** Allocation-free structural hash of (length, entries): equal whenever
+    {!compare_assignments} = 0 (the converse holds only up to hash
+    collisions).  Used for cheap cycle detection in compaction. *)
 
 val pp : Format.formatter -> t -> unit
 (** Paper-style table: one row per control step, one column per

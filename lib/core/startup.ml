@@ -1,31 +1,69 @@
 module Csdfg = Dataflow.Csdfg
 module G = Digraph.Graph
 
-(* Data-arrival bound for [v] on processor [p] at the current schedule:
-   the last control step occupied by a predecessor's data in flight.
-   [v] may start at any step strictly greater. *)
-let arrival_bound dfg comm sched v p =
-  let from_edge acc (e : Csdfg.attr G.edge) =
-    if Csdfg.delay e <> 0 then acc
-    else begin
-      let u = e.G.src in
-      let m =
-        Comm.cost comm ~src:(Schedule.pe sched u) ~dst:p ~volume:(Csdfg.volume e)
+(* Data-arrival bounds for [v] at the current schedule: per processor
+   [p], the last control step occupied by a predecessor's data in flight
+   ([max over zero-delay preds u of CE u + M(PE u, p)]); [v] may start at
+   any step strictly greater.  One pass over the predecessor list fills
+   the bound for every PE, instead of re-walking the list per
+   processor. *)
+let arrival_bounds_all dfg comm sched ~np v =
+  let bounds = Array.make np 0 in
+  List.iter
+    (fun (e : Csdfg.attr G.edge) ->
+      if Csdfg.delay e = 0 then begin
+        let u = e.G.src in
+        let pu = Schedule.pe sched u in
+        let ceu = Schedule.ce sched u in
+        let volume = Csdfg.volume e in
+        for p = 0 to np - 1 do
+          let b = ceu + Comm.cost comm ~src:pu ~dst:p ~volume in
+          if b > bounds.(p) then bounds.(p) <- b
+        done
+      end)
+    (Csdfg.pred dfg v);
+  bounds
+
+(* Graph-derived setup, reused across runs on the same CSDFG: autotune,
+   the benches and multi-topology sweeps reschedule one graph dozens of
+   times, and validation + priority analysis + the zero-delay DAG are a
+   fixed per-run cost otherwise.  One slot per domain keeps the memo safe
+   under Parutil's domain parallelism. *)
+type setup = {
+  graph : Csdfg.t;
+  priority : Priority.t;
+  dag : Csdfg.attr G.t;
+  in_degrees : int array;
+}
+
+let setup_slot : setup option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let setup_for dfg =
+  let slot = Domain.DLS.get setup_slot in
+  match !slot with
+  | Some s when s.graph == dfg -> s
+  | _ ->
+      (match Csdfg.validate dfg with
+      | Ok () -> ()
+      | Error _ -> invalid_arg "Startup.run: illegal CSDFG");
+      let dag = Csdfg.zero_delay_graph dfg in
+      let s =
+        {
+          graph = dfg;
+          priority = Priority.create dfg;
+          dag;
+          in_degrees = Array.init (Csdfg.n_nodes dfg) (G.in_degree dag);
+        }
       in
-      max acc (Schedule.ce sched u + m)
-    end
-  in
-  List.fold_left from_edge 0 (Csdfg.pred dfg v)
+      slot := Some s;
+      s
 
 let run ?(priority_strategy = Priority.Pf) ?speeds dfg comm =
-  (match Csdfg.validate dfg with
-  | Ok () -> ()
-  | Error _ -> invalid_arg "Startup.run: illegal CSDFG");
-  let priority = Priority.create dfg in
-  let dag = Csdfg.zero_delay_graph dfg in
+  let { priority; dag; in_degrees; _ } = setup_for dfg in
   let n = Csdfg.n_nodes dfg in
   let np = Comm.n_processors comm in
-  let remaining_preds = Array.init n (G.in_degree dag) in
+  let remaining_preds = Array.copy in_degrees in
   let in_list = Array.make n false in
   let ready = ref [] in
   (* Nodes becoming ready while the current step is being filled join the
@@ -41,16 +79,31 @@ let run ?(priority_strategy = Priority.Pf) ?speeds dfg comm =
   let sched = ref (Schedule.empty ?speeds dfg comm) in
   let unscheduled = ref n in
   let cs = ref 1 in
-  (* Any node can always run at [last CE + diameter-cost + 1] on some
-     processor, so the sweep terminates well before this bound. *)
+  (* Per-(node, PE) memo of [arrival_bound].  A node's bound only depends
+     on its zero-delay predecessors' placements, all of which are final by
+     the time the node turns ready, so a computed row stays valid; rows of
+     not-yet-ready successors are invalidated on each placement anyway as
+     a safety net. *)
+  let ab_cache : int array array = Array.make n [||] in
+  let ab_row v =
+    if Array.length ab_cache.(v) = 0 then
+      ab_cache.(v) <- arrival_bounds_all dfg comm !sched ~np v;
+    ab_cache.(v)
+  in
+  (* Any node can always run at [last CE + worst-message-cost + 1] on some
+     processor, so the sweep terminates well before this bound.  The worst
+     message cost is probed at the largest volume actually present — cost
+     functions need not be linear in volume (fixed latencies, superlinear
+     congestion models), so probing at volume 1 and scaling would
+     under-estimate and kill legal graphs. *)
   let max_volume =
     List.fold_left (fun acc e -> max acc (Csdfg.volume e)) 1 (Csdfg.edges dfg)
   in
-  let max_hops =
+  let max_comm_cost =
     let worst = ref 0 in
     for p = 0 to np - 1 do
       for q = 0 to np - 1 do
-        worst := max !worst (Comm.cost comm ~src:p ~dst:q ~volume:1)
+        worst := max !worst (Comm.cost comm ~src:p ~dst:q ~volume:max_volume)
       done
     done;
     !worst
@@ -61,7 +114,7 @@ let run ?(priority_strategy = Priority.Pf) ?speeds dfg comm =
     | Some s -> Array.fold_left max 1 s
   in
   let fuel =
-    (Csdfg.total_time dfg * max_speed * (1 + (max_hops * max_volume))) + n + 1
+    (Csdfg.total_time dfg * max_speed * (1 + max_comm_cost)) + n + 1
   in
   while !unscheduled > 0 do
     if !cs > fuel then
@@ -69,35 +122,66 @@ let run ?(priority_strategy = Priority.Pf) ?speeds dfg comm =
     ready := List.rev_append !pending !ready;
     pending := [];
     let order =
-      Priority.sort_ready ~strategy:priority_strategy priority !sched ~cs:!cs
-        !ready
+      match !ready with
+      | [] | [ _ ] -> !ready (* sorting a singleton cannot reorder it *)
+      | l ->
+          Priority.sort_ready ~strategy:priority_strategy priority !sched
+            ~cs:!cs l
     in
+    let placed_any = ref false in
     let place v =
-      let feasible p =
-        arrival_bound dfg comm !sched v p < !cs
-        && Schedule.is_free !sched ~pe:p ~cb:!cs
-             ~span:(Schedule.duration !sched ~node:v ~pe:p)
-      in
-      let candidates =
-        List.filter feasible (List.init np Fun.id)
-        |> List.map (fun p -> (arrival_bound dfg comm !sched v p, p))
-        |> List.sort compare
-      in
-      match candidates with
-      | [] -> true (* keep in ready list *)
-      | (_, p) :: _ ->
-          sched := Schedule.assign !sched ~node:v ~cb:!cs ~pe:p;
-          decr unscheduled;
-          let release (e : Csdfg.attr G.edge) =
-            let w = e.G.dst in
-            remaining_preds.(w) <- remaining_preds.(w) - 1;
-            promote w
-          in
-          List.iter release (G.succ dag v);
-          false
+      (* Best feasible processor: smallest (arrival bound, id) — the same
+         order [List.sort compare] gave the (bound, pe) candidate pairs,
+         computed without building the intermediate lists. *)
+      let bounds = ab_row v in
+      let best = ref (-1) in
+      let best_bound = ref max_int in
+      for p = 0 to np - 1 do
+        let b = bounds.(p) in
+        if b < !best_bound && b < !cs
+           && Schedule.is_free !sched ~pe:p ~cb:!cs
+                ~span:(Schedule.duration !sched ~node:v ~pe:p)
+        then begin
+          best := p;
+          best_bound := b
+        end
+      done;
+      if !best < 0 then true (* keep in ready list *)
+      else begin
+        sched := Schedule.assign !sched ~node:v ~cb:!cs ~pe:!best;
+        decr unscheduled;
+        placed_any := true;
+        let release (e : Csdfg.attr G.edge) =
+          let w = e.G.dst in
+          ab_cache.(w) <- [||];
+          remaining_preds.(w) <- remaining_preds.(w) - 1;
+          promote w
+        in
+        List.iter release (G.succ dag v);
+        false
+      end
     in
     ready := List.filter place order;
-    incr cs
+    (* Event-driven sweep: when the step changed nothing (no placement and
+       no newly ready nodes), the schedule is frozen, so every ready
+       node's feasibility at a future step [s] depends on [s] alone.  Jump
+       straight to the earliest step at which any (node, PE) pair becomes
+       feasible — every skipped step would have placed nothing. *)
+    if !placed_any || !pending <> [] then incr cs
+    else begin
+      let next = ref max_int in
+      List.iter
+        (fun v ->
+          let bounds = ab_row v in
+          for p = 0 to np - 1 do
+            let span = Schedule.duration !sched ~node:v ~pe:p in
+            let from = max (bounds.(p) + 1) (!cs + 1) in
+            let s = Schedule.first_free_slot !sched ~pe:p ~from ~span in
+            if s < !next then next := s
+          done)
+        !ready;
+      cs := if !next = max_int then !cs + 1 else !next
+    end
   done;
   let sched = !sched in
   Schedule.set_length sched (Timing.required_length sched)

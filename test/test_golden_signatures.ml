@@ -1,0 +1,94 @@
+(* Golden-signature regression: the schedules produced by [Startup.run]
+   and [Compaction.run] on every shipped workload x architecture were
+   captured from the pre-occupancy-index implementation; the incremental
+   index and the event-driven sweep are pure speedups, so the signatures
+   must stay byte-identical. *)
+
+module Schedule = Cyclo.Schedule
+module Startup = Cyclo.Startup
+module Compaction = Cyclo.Compaction
+
+let topologies () =
+  [
+    ("linear8", Topology.linear_array 8);
+    ("mesh2x4", Topology.mesh ~rows:2 ~cols:4);
+    ("cube3", Topology.hypercube 3);
+  ]
+
+let startup_golden =
+  [
+    ("diffeq", "linear8", "10;1@0;1@1;4@0;1@2;3@2;1@3;6@0;7@0;1@4;3@3");
+    ("diffeq", "mesh2x4", "10;1@0;1@1;4@0;1@2;3@2;1@3;6@0;7@0;1@4;3@3");
+    ("diffeq", "cube3", "9;1@0;1@1;4@0;1@2;3@2;1@3;6@0;7@0;1@4;3@3");
+    ("elliptic", "linear8", "42;1@0;2@0;3@0;5@0;6@0;8@0;9@0;11@0;12@0;14@0;15@0;16@0;17@0;19@0;20@0;21@0;22@0;24@0;25@0;26@0;27@0;29@0;30@0;31@0;32@0;34@0;35@0;36@0;37@0;38@0;39@0;40@0;41@0;42@0");
+    ("elliptic", "mesh2x4", "42;1@0;2@0;3@0;5@0;6@0;8@0;9@0;11@0;12@0;14@0;15@0;16@0;17@0;19@0;20@0;21@0;22@0;24@0;25@0;26@0;27@0;29@0;30@0;31@0;32@0;34@0;35@0;36@0;37@0;38@0;39@0;40@0;41@0;42@0");
+    ("elliptic", "cube3", "42;1@0;2@0;3@0;5@0;6@0;8@0;9@0;11@0;12@0;14@0;15@0;16@0;17@0;19@0;20@0;21@0;22@0;24@0;25@0;26@0;27@0;29@0;30@0;31@0;32@0;34@0;35@0;36@0;37@0;38@0;39@0;40@0;41@0;42@0");
+    ("fig1b", "linear8", "7;1@0;2@0;3@1;4@0;5@0;7@0");
+    ("fig1b", "mesh2x4", "7;1@0;2@0;3@1;4@0;5@0;7@0");
+    ("fig1b", "cube3", "7;1@0;2@0;3@1;4@0;5@0;7@0");
+    ("fig7", "linear8", "14;1@0;2@0;3@1;5@0;8@2;7@1;4@0;3@0;6@0;9@1;7@0;11@1;9@2;8@0;9@0;10@0;13@1;10@2;14@1");
+    ("fig7", "mesh2x4", "13;1@0;2@0;3@1;4@4;6@5;5@4;4@0;3@0;6@0;7@4;7@0;9@4;7@5;8@0;9@0;10@0;11@4;8@5;13@4");
+    ("fig7", "cube3", "13;1@0;2@0;3@1;4@2;6@3;5@2;4@0;3@0;6@0;7@2;7@0;9@2;7@3;8@0;9@0;10@0;11@2;8@3;13@2");
+    ("lattice", "linear8", "10;1@1;8@2;1@3;6@1;7@1;9@1;1@2;5@1;7@0;9@0;1@0;3@0;4@0;6@0");
+    ("lattice", "mesh2x4", "10;1@1;8@2;1@3;6@1;7@1;9@1;1@2;5@1;7@0;9@0;1@0;3@0;4@0;6@0");
+    ("lattice", "cube3", "10;1@1;7@4;1@3;5@0;6@0;8@0;1@2;4@0;6@2;8@2;1@0;3@0;5@1;7@1");
+    ("lms4", "linear8", "16;1@0;2@0;1@1;1@2;1@3;4@0;5@0;6@0;7@0;8@0;10@0;9@1;11@1;10@2;12@2;11@0;13@0");
+    ("lms4", "mesh2x4", "14;1@0;2@0;1@1;1@2;1@3;4@0;5@0;6@0;7@0;8@0;10@0;9@1;11@1;9@4;11@4;10@2;12@2");
+    ("lms4", "cube3", "14;1@0;2@0;1@1;1@2;1@3;4@0;5@0;6@0;7@0;8@0;10@0;9@1;11@1;9@2;11@2;9@4;11@4");
+  ]
+
+let best_golden =
+  [
+    ("diffeq", "linear8", "7;1@2;6@0;2@0;4@1;6@1;1@1;4@0;5@0;1@0;3@1");
+    ("diffeq", "mesh2x4", "7;1@4;6@0;2@0;4@1;6@1;1@1;4@0;5@0;1@0;3@1");
+    ("diffeq", "cube3", "7;1@2;6@0;2@0;4@1;6@1;1@1;4@0;5@0;1@0;3@1");
+    ("elliptic", "linear8", "38;29@0;30@0;31@0;33@0;34@0;36@0;37@0;2@1;3@1;5@1;1@0;2@0;3@0;5@0;6@0;7@0;8@0;10@0;11@0;12@0;13@0;15@0;16@0;17@0;18@0;20@0;21@0;22@0;23@0;24@0;25@0;26@0;27@0;28@0");
+    ("elliptic", "mesh2x4", "28;5@4;6@4;7@4;9@4;10@4;12@4;13@4;15@4;1@0;3@0;4@0;5@0;6@0;8@0;9@0;10@0;11@0;13@0;14@0;15@0;16@0;18@0;19@0;20@0;21@0;23@0;24@0;25@0;26@0;27@0;1@4;2@4;3@4;4@4");
+    ("elliptic", "cube3", "28;5@2;6@2;7@2;9@2;10@2;12@2;13@2;15@2;1@0;3@0;4@0;5@0;6@0;8@0;9@0;10@0;11@0;13@0;14@0;15@0;16@0;18@0;19@0;20@0;21@0;23@0;24@0;25@0;26@0;27@0;1@2;2@2;3@2;4@2");
+    ("fig1b", "linear8", "3;2@2;2@1;3@2;1@1;1@0;3@0");
+    ("fig1b", "mesh2x4", "3;3@1;2@2;1@1;2@1;2@0;1@0");
+    ("fig1b", "cube3", "3;3@1;2@3;1@1;2@1;2@0;1@0");
+    ("fig7", "linear8", "6;6@1;1@1;2@2;3@1;1@4;1@3;4@2;2@1;5@2;3@3;6@2;5@3;2@4;1@2;4@0;5@0;4@1;3@4;5@1");
+    ("fig7", "mesh2x4", "6;1@0;3@4;3@1;4@4;5@4;1@5;2@2;6@1;3@2;3@5;4@2;5@5;6@4;5@2;2@0;3@0;2@1;1@4;5@0");
+    ("fig7", "cube3", "6;5@2;1@2;2@2;3@0;4@0;5@4;4@3;3@3;5@3;1@4;2@1;3@4;5@0;3@1;4@1;1@0;1@6;1@1;4@2");
+    ("lattice", "linear8", "9;1@1;6@2;7@2;4@1;5@1;7@1;8@1;3@1;5@0;7@0;8@0;1@0;2@0;4@0");
+    ("lattice", "mesh2x4", "9;1@1;6@2;7@2;4@1;5@1;7@1;8@1;3@1;5@0;7@0;8@0;1@0;2@0;4@0");
+    ("lattice", "cube3", "9;1@0;6@4;7@4;4@0;5@0;7@0;8@0;3@0;5@2;7@2;8@2;2@0;4@1;6@1");
+    ("lms4", "linear8", "11;1@1;8@2;9@1;9@3;10@0;1@2;2@2;3@2;4@2;5@2;7@2;6@1;8@1;6@3;8@3;7@0;9@0");
+    ("lms4", "mesh2x4", "11;1@1;8@0;9@1;9@4;10@2;1@0;2@0;3@0;4@0;5@0;7@0;6@1;8@1;6@4;8@4;7@2;9@2");
+    ("lms4", "cube3", "11;1@0;9@0;10@1;10@2;10@4;2@0;3@0;4@0;5@0;6@0;8@0;7@1;9@1;7@2;9@2;7@4;9@4");
+  ]
+
+let load name =
+  match Dataflow.Io.read_file ~path:("../data/" ^ name ^ ".csdfg") with
+  | Ok g -> g
+  | Error e -> Alcotest.fail e
+
+let check_against golden schedule_of =
+  List.iter
+    (fun (workload, topo_name, expected) ->
+      let g = load workload in
+      let topo = List.assoc topo_name (topologies ()) in
+      Alcotest.(check string)
+        (workload ^ " on " ^ topo_name)
+        expected
+        (Schedule.signature (schedule_of g topo)))
+    golden
+
+let test_startup_signatures () =
+  check_against startup_golden (fun g topo -> Startup.run_on g topo)
+
+let test_best_signatures () =
+  check_against best_golden (fun g topo ->
+      (Compaction.run_on ~validate:false g topo).Compaction.best)
+
+let () =
+  Alcotest.run "golden_signatures"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "startup schedules" `Quick test_startup_signatures;
+          Alcotest.test_case "compacted best schedules" `Quick
+            test_best_signatures;
+        ] );
+    ]
