@@ -166,6 +166,22 @@ let json_escape s =
        (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
        (List.init (String.length s) (String.get s)))
 
+(* One fully traced compaction drive on the headline workload: the
+   span rollup attributes the drive's wall-clock to pipeline phases
+   (startup sweep, compaction passes, rotation), and the counter dump
+   records how much work each phase did.  Tracing is off during the
+   Bechamel measurements above, so these numbers are observational
+   only and cost the measured paths nothing. *)
+let phase_profile () =
+  let elliptic = List.assoc "elliptic" (workloads ()) in
+  let mesh16 = List.assoc "mesh4x4" (topologies ()) in
+  Obs.Trace.enable ();
+  Obs.Counters.enable ();
+  ignore (Compaction.run_on ~validate:false elliptic mesh16);
+  Obs.Trace.disable ();
+  Obs.Counters.disable ();
+  (Obs.Trace.aggregate (), Obs.Counters.dump ())
+
 let emit_json path rows =
   let find name = List.assoc_opt name rows in
   let speedup =
@@ -189,6 +205,22 @@ let emit_json path rows =
   | Some r ->
       Printf.fprintf oc ",\n  \"startup_speedup_elliptic_mesh4x4\": %.2f" r
   | None -> ());
+  let phases, counters = phase_profile () in
+  output_string oc ",\n  \"phases_elliptic_mesh4x4\": [\n";
+  List.iteri
+    (fun i (name, count, total_ns) ->
+      Printf.fprintf oc
+        "    {\"span\": \"%s\", \"count\": %d, \"total_ns\": %d}%s\n"
+        (json_escape name) count total_ns
+        (if i = List.length phases - 1 then "" else ","))
+    phases;
+  output_string oc "  ],\n  \"counters_elliptic_mesh4x4\": {\n";
+  List.iteri
+    (fun i (name, v) ->
+      Printf.fprintf oc "    \"%s\": %d%s\n" (json_escape name) v
+        (if i = List.length counters - 1 then "" else ","))
+    counters;
+  output_string oc "  }";
   output_string oc "\n}\n";
   close_out oc;
   (match speedup with

@@ -126,6 +126,43 @@ let or_die = function
       Fmt.epr "ccsched: %s@." msg;
       exit 1
 
+(* ------------------------------------------------------------------ *)
+(* Observability (--profile / --metrics)                                *)
+(* ------------------------------------------------------------------ *)
+
+let profile_arg =
+  let doc =
+    "Record a structured trace of the run and write it to $(docv) as \
+     Chrome trace_event JSON (open in chrome://tracing or Perfetto)."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "profile" ] ~docv:"FILE.json" ~doc)
+
+let metrics_flag =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Print the observability counters registry after the run.")
+
+(* Enable the requested collectors, run, then export: the profile file
+   carries the spans plus a counters block; --metrics prints the
+   registry on stdout.  With neither flag every probe stays a no-op. *)
+let with_observability ~profile ~metrics run =
+  if profile <> None then Obs.Trace.enable ();
+  if profile <> None || metrics then Obs.Counters.enable ();
+  let result = run () in
+  Obs.Trace.disable ();
+  Obs.Counters.disable ();
+  (match profile with
+  | Some path ->
+      let json =
+        Obs.Trace.to_chrome_json ~counters:(Obs.Counters.dump ()) ()
+      in
+      Cyclo.Export.write_file ~path json;
+      Fmt.pr "wrote profile %s@." path
+  | None -> ());
+  if metrics then Fmt.pr "@.metrics:@.%a" Obs.Counters.pp_summary ();
+  result
+
 let prepared spec slowdown =
   let g = or_die (load_graph spec) in
   if slowdown > 1 then Dataflow.Transform.slowdown g slowdown else g
@@ -168,10 +205,11 @@ let show_cmd =
     Term.(const run $ graph_arg $ slowdown_arg)
 
 let schedule_cmd =
-  let run spec arch mode passes slowdown speeds table trace =
+  let run spec arch mode passes slowdown speeds table trace profile metrics =
     let g = prepared spec slowdown in
     let topo = or_die (parse_arch arch) in
     let speeds = or_die (parse_speeds topo speeds) in
+    with_observability ~profile ~metrics @@ fun () ->
     let r = Cyclo.Compaction.run_on ~mode ?speeds ?passes g topo in
     let startup = r.Cyclo.Compaction.startup and best = r.Cyclo.Compaction.best in
     Fmt.pr "workload %s on %s (%a)@." (Dataflow.Csdfg.name g)
@@ -205,7 +243,7 @@ let schedule_cmd =
        ~doc:"Run start-up scheduling plus cyclo-compaction on one architecture.")
     Term.(
       const run $ graph_arg $ arch_arg $ mode_arg $ passes_arg $ slowdown_arg
-      $ speeds_arg $ table_flag $ trace_flag)
+      $ speeds_arg $ table_flag $ trace_flag $ profile_arg $ metrics_flag)
 
 let compare_cmd =
   let run spec passes slowdown =
@@ -323,9 +361,11 @@ let simulate_cmd =
              ~doc:"Wormhole transport (hops + volume - 1) for both the \
                    schedule's cost model and the execution.")
   in
-  let run spec arch mode passes slowdown iterations contention wormhole =
+  let run spec arch mode passes slowdown iterations contention wormhole
+      profile metrics =
     let g = prepared spec slowdown in
     let topo = or_die (parse_arch arch) in
+    with_observability ~profile ~metrics @@ fun () ->
     let comm =
       if wormhole then Cyclo.Comm.wormhole topo
       else Cyclo.Comm.of_topology topo
@@ -354,7 +394,8 @@ let simulate_cmd =
        ~doc:"Execute the compacted schedule on the event-driven machine \
              simulator and compare against the analytical model.")
     Term.(const run $ graph_arg $ arch_arg $ mode_arg $ passes_arg
-          $ slowdown_arg $ iterations_arg $ contention_flag $ wormhole_flag)
+          $ slowdown_arg $ iterations_arg $ contention_flag $ wormhole_flag
+          $ profile_arg $ metrics_flag)
 
 let pipeline_cmd =
   let iterations_arg =
@@ -395,10 +436,11 @@ let pipeline_cmd =
           $ slowdown_arg $ iterations_arg)
 
 let autotune_cmd =
-  let run spec arch passes slowdown speeds =
+  let run spec arch passes slowdown speeds profile metrics =
     let g = prepared spec slowdown in
     let topo = or_die (parse_arch arch) in
     let speeds = or_die (parse_speeds topo speeds) in
+    with_observability ~profile ~metrics @@ fun () ->
     let t = Cyclo.Autotune.run_on ?passes ?speeds g topo in
     Fmt.pr "%a@." Cyclo.Autotune.pp t;
     Fmt.pr "@.best schedule:@.%a@." Cyclo.Schedule.pp t.Cyclo.Autotune.best;
@@ -410,7 +452,7 @@ let autotune_cmd =
              plus local-search polish) in parallel and keep the shortest \
              schedule.")
     Term.(const run $ graph_arg $ arch_arg $ passes_arg $ slowdown_arg
-          $ speeds_arg)
+          $ speeds_arg $ profile_arg $ metrics_flag)
 
 let partition_cmd =
   let graphs_arg =

@@ -10,8 +10,21 @@ let configurations =
     (Remap.Without_relaxation, Remap.Earliest_step);
   ]
 
+let c_configs = Obs.Counters.counter "autotune.configs"
+
 let run ?passes ?speeds ?(parallel = true) dfg comm =
+  Obs.Trace.with_span "autotune.run"
+    ~args:[ ("graph", Dataflow.Csdfg.name dfg) ]
+  @@ fun () ->
   let one (mode, scoring) =
+    Obs.Counters.incr c_configs;
+    Obs.Trace.with_span "autotune.config"
+      ~args:
+        [
+          ("mode", Fmt.str "%a" Remap.pp_mode mode);
+          ("scoring", Fmt.str "%a" Remap.pp_scoring scoring);
+        ]
+    @@ fun () ->
     let r =
       Compaction.run ~mode ~scoring ?speeds ?passes ~validate:false dfg comm
     in

@@ -38,18 +38,39 @@ let log_src = Logs.Src.create "cyclo.compaction" ~doc:"Cyclo-compaction passes"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+let c_passes = Obs.Counters.counter "compaction.passes"
+let g_best_length = Obs.Counters.counter "compaction.best_length"
+let c_compacted = Obs.Counters.counter "compaction.outcome.compacted"
+let c_lateral = Obs.Counters.counter "compaction.outcome.lateral"
+let c_expanded = Obs.Counters.counter "compaction.outcome.expanded"
+let c_fell_back = Obs.Counters.counter "compaction.outcome.fell_back"
+let c_stuck = Obs.Counters.counter "compaction.outcome.stuck"
+
+let c_outcome = function
+  | Compacted -> c_compacted
+  | Lateral -> c_lateral
+  | Expanded -> c_expanded
+  | Fell_back -> c_fell_back
+  | Stuck -> c_stuck
+
 let pass ?scoring mode sched =
+  Obs.Trace.with_span "compaction.pass" @@ fun () ->
   let sched = Schedule.normalize sched in
   let sched = Schedule.set_length sched (Timing.required_length sched) in
-  match Rotation.start sched with
-  | Error _ -> (sched, Stuck)
-  | Ok rot -> (
-      match Remap.run ?scoring mode rot with
-      | Remap.Remapped next ->
-          (next, classify ~previous:(Schedule.length sched)
-                   ~next:(Schedule.length next) None)
-      | Remap.Fallback next -> (next, Fell_back)
-      | Remap.Stuck -> (sched, Stuck))
+  let result =
+    match Rotation.start sched with
+    | Error _ -> (sched, Stuck)
+    | Ok rot -> (
+        match Remap.run ?scoring mode rot with
+        | Remap.Remapped next ->
+            (next, classify ~previous:(Schedule.length sched)
+                     ~next:(Schedule.length next) None)
+        | Remap.Fallback next -> (next, Fell_back)
+        | Remap.Stuck -> (sched, Stuck))
+  in
+  Obs.Counters.incr c_passes;
+  Obs.Counters.incr (c_outcome (snd result));
+  result
 
 (* A state repeats when both the placement and the (retimed) delay
    distribution repeat.  Hashed structurally (no string building): the
@@ -92,10 +113,18 @@ let drive ~mode ?scoring ~budget ~validate startup =
     end
   in
   let final, best, trace, converged = loop 1 startup startup [] in
+  Obs.Counters.set g_best_length (Schedule.length best);
   { startup; best; final; trace; converged }
 
 let run ?(mode = Remap.With_relaxation) ?scoring ?speeds ?passes
     ?(validate = true) dfg comm =
+  Obs.Trace.with_span "compaction.run"
+    ~args:
+      [
+        ("graph", Csdfg.name dfg);
+        ("mode", Fmt.str "%a" Remap.pp_mode mode);
+      ]
+  @@ fun () ->
   let startup = Startup.run ?speeds dfg comm in
   if validate then Validator.assert_legal startup;
   let budget =
@@ -107,6 +136,7 @@ let run ?(mode = Remap.With_relaxation) ?scoring ?speeds ?passes
 
 let resume ?(mode = Remap.With_relaxation) ?scoring ?passes ?(validate = true)
     sched =
+  Obs.Trace.with_span "compaction.resume" @@ fun () ->
   if validate then Validator.assert_legal sched;
   let budget =
     match passes with

@@ -72,7 +72,12 @@ let try_move rng sched =
     end
   end
 
+let c_moves_tried = Obs.Counters.counter "refine.moves_tried"
+let c_moves_accepted = Obs.Counters.counter "refine.moves_accepted"
+let c_improvements = Obs.Counters.counter "refine.improvements"
+
 let run ?(seed = 0) ?moves ?(validate = true) sched =
+  Obs.Trace.with_span "refine.run" @@ fun () ->
   if not (Schedule.assigned_all sched) then
     invalid_arg "Refine.run: schedule has unassigned nodes";
   let initial =
@@ -100,6 +105,9 @@ let run ?(seed = 0) ?moves ?(validate = true) sched =
         current := next;
         if Schedule.length next < Schedule.length !best then best := next
   done;
+  Obs.Counters.incr c_moves_tried ~by:budget;
+  Obs.Counters.incr c_moves_accepted ~by:!accepted;
+  Obs.Counters.incr c_improvements ~by:!improvements;
   {
     initial;
     best = !best;
@@ -116,6 +124,7 @@ let polish ?seed ?moves (r : Compaction.result) =
 
 let alternate ?mode ?scoring ?(seed = 0) ?(rounds = 4) ?(validate = true) dfg
     comm =
+  Obs.Trace.with_span "refine.alternate" @@ fun () ->
   let first = Compaction.run ?mode ?scoring ~validate dfg comm in
   let best = ref first.Compaction.best in
   let current = ref first.Compaction.best in

@@ -7,7 +7,12 @@ type t = {
   fallback : (int * Schedule.entry) list;
 }
 
+let c_rotations = Obs.Counters.counter "rotation.rotations"
+let c_nodes_rotated = Obs.Counters.counter "rotation.nodes_rotated"
+let c_fallbacks = Obs.Counters.counter "rotation.fallbacks_applied"
+
 let start sched =
+  Obs.Trace.with_span "rotation.start" @@ fun () ->
   let dfg = Schedule.dfg sched in
   if Schedule.n_assigned sched = 0 then Error "empty schedule"
   else begin
@@ -31,11 +36,14 @@ let start sched =
             |> Schedule.shift_up
             |> fun s -> Schedule.with_dfg s retimed
           in
+          Obs.Counters.incr c_rotations;
+          Obs.Counters.incr c_nodes_rotated ~by:(List.length rotated);
           Ok { rotated; previous_length; base; fallback }
         end
   end
 
 let apply_fallback t =
+  Obs.Counters.incr c_fallbacks;
   let sched =
     List.fold_left
       (fun s (v, { Schedule.cb; pe }) -> Schedule.assign s ~node:v ~cb ~pe)

@@ -100,7 +100,12 @@ let set_length t len =
     invalid_arg "Schedule.set_length: shorter than occupied rows";
   { t with length = len }
 
+(* One tally for every query served by the occupancy index; a single
+   atomic-flag read when observability is off (the default). *)
+let c_occupancy_queries = Obs.Counters.counter "schedule.occupancy_queries"
+
 let node_at t ~pe ~cs =
+  Obs.Counters.incr c_occupancy_queries;
   let rec go = function
     | [] -> None
     | iv :: rest ->
@@ -111,6 +116,7 @@ let node_at t ~pe ~cs =
   go t.occ.(pe)
 
 let is_free t ~pe ~cb ~span:width =
+  Obs.Counters.incr c_occupancy_queries;
   let hi_q = cb + width - 1 in
   let rec go = function
     | [] -> true
@@ -166,6 +172,7 @@ let with_comm t comm =
   { t with comm }
 
 let first_free_slot t ~pe ~from ~span:width =
+  Obs.Counters.incr c_occupancy_queries;
   let from = max 1 from in
   let rec scan cs = function
     | [] -> cs

@@ -59,7 +59,20 @@ let setup_for dfg =
       slot := Some s;
       s
 
+let c_runs = Obs.Counters.counter "startup.runs"
+let c_steps = Obs.Counters.counter "startup.steps"
+let c_steps_skipped = Obs.Counters.counter "startup.steps_skipped"
+
 let run ?(priority_strategy = Priority.Pf) ?speeds dfg comm =
+  Obs.Counters.incr c_runs;
+  Obs.Trace.with_span "startup.run"
+    ~args:
+      [
+        ("graph", Csdfg.name dfg);
+        ("nodes", string_of_int (Csdfg.n_nodes dfg));
+        ("processors", string_of_int (Comm.n_processors comm));
+      ]
+  @@ fun () ->
   let { priority; dag; in_degrees; _ } = setup_for dfg in
   let n = Csdfg.n_nodes dfg in
   let np = Comm.n_processors comm in
@@ -119,6 +132,7 @@ let run ?(priority_strategy = Priority.Pf) ?speeds dfg comm =
   while !unscheduled > 0 do
     if !cs > fuel then
       invalid_arg "Startup.run: scheduling did not converge (internal error)";
+    Obs.Counters.incr c_steps;
     ready := List.rev_append !pending !ready;
     pending := [];
     let order =
@@ -180,6 +194,8 @@ let run ?(priority_strategy = Priority.Pf) ?speeds dfg comm =
             if s < !next then next := s
           done)
         !ready;
+      if !next <> max_int && !next > !cs + 1 then
+        Obs.Counters.incr c_steps_skipped ~by:(!next - !cs - 1);
       cs := if !next = max_int then !cs + 1 else !next
     end
   done;

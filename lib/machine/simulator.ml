@@ -45,9 +45,27 @@ let static_bound sched ~iterations =
   in
   ((iterations - 1) * Schedule.length sched) + max_ce
 
+let c_messages = Obs.Counters.counter "simulator.messages"
+let c_hops = Obs.Counters.counter "simulator.message_hops"
+let c_events = Obs.Counters.counter "simulator.events"
+
 let execute ?(policy = Contention_free) ?(transport = Store_and_forward)
     sched topo ~iterations =
   if iterations < 1 then invalid_arg "Simulator.execute: iterations < 1";
+  Obs.Trace.with_span "simulator.execute"
+    ~args:
+      [
+        ("iterations", string_of_int iterations);
+        ( "policy",
+          match policy with
+          | Contention_free -> "contention-free"
+          | Fifo_links -> "fifo-links" );
+        ( "transport",
+          match transport with
+          | Store_and_forward -> "store-and-forward"
+          | Wormhole -> "wormhole" );
+      ]
+  @@ fun () ->
   if not (Schedule.assigned_all sched) then
     invalid_arg "Simulator.execute: schedule has unassigned nodes";
   let np = Topology.n_processors topo in
@@ -261,6 +279,7 @@ let execute ?(policy = Contention_free) ?(transport = Store_and_forward)
     | None -> ()
     | Some ((t, ev), rest) ->
         events := rest;
+        Obs.Counters.incr c_events;
         (match ev with
         | Complete inst -> on_complete inst t
         | Hop_done msg -> on_hop_done msg t
@@ -292,6 +311,8 @@ let execute ?(policy = Contention_free) ?(transport = Store_and_forward)
   let max_link_backlog =
     Hashtbl.fold (fun _ l acc -> max acc l.backlog_peak) links 0
   in
+  Obs.Counters.incr c_messages ~by:!message_count;
+  Obs.Counters.incr c_hops ~by:!hop_count;
   let total_busy = Array.fold_left ( + ) 0 busy in
   {
     policy;

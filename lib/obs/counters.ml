@@ -1,0 +1,46 @@
+type t = { name : string; cell : int Atomic.t }
+
+let enabled_flag = Atomic.make false
+let lock = Mutex.create ()
+let table : (string, t) Hashtbl.t = Hashtbl.create 32
+
+let counter name =
+  Mutex.protect lock (fun () ->
+      match Hashtbl.find_opt table name with
+      | Some c -> c
+      | None ->
+          let c = { name; cell = Atomic.make 0 } in
+          Hashtbl.add table name c;
+          c)
+
+let name c = c.name
+
+let incr ?(by = 1) c =
+  if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add c.cell by)
+
+let set c v = if Atomic.get enabled_flag then Atomic.set c.cell v
+let value c = Atomic.get c.cell
+let enabled () = Atomic.get enabled_flag
+
+let reset () =
+  Mutex.protect lock (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) table)
+
+let enable () =
+  reset ();
+  Atomic.set enabled_flag true
+
+let disable () = Atomic.set enabled_flag false
+
+let dump () =
+  Mutex.protect lock (fun () ->
+      Hashtbl.fold (fun name c acc -> (name, Atomic.get c.cell) :: acc) table [])
+  |> List.sort compare
+
+let pp_summary ppf () =
+  let rows = dump () in
+  if rows = [] then Format.fprintf ppf "no counters registered@."
+  else
+    List.iter
+      (fun (name, v) -> Format.fprintf ppf "%-32s %10d@." name v)
+      rows

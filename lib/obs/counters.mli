@@ -1,0 +1,50 @@
+(** Process-wide counters and gauges for the scheduling pipeline.
+
+    A {e counter} is a named monotonically increasing tally
+    ([compaction.passes], [simulator.messages], ...); a {e gauge} is a
+    named last-write-wins value ([compaction.best_length]).  Both live
+    in one global registry so any layer — library, CLI, bench, test —
+    can read a consistent snapshot with {!dump} after a run.
+
+    Handles are created once at module-initialisation time with
+    {!counter}; updating through a handle is lock-free (one atomic
+    fetch-and-add) and, like {!Trace}, a single atomic flag read when
+    the registry is disabled, so instrumented hot paths cost nothing
+    measurable until a caller opts in with {!enable}. *)
+
+type t
+(** A registered counter (or gauge) handle. *)
+
+val counter : string -> t
+(** [counter name] registers [name] and returns its handle; calling it
+    again with the same name returns the same handle.  Safe to call from
+    any domain. *)
+
+val name : t -> string
+
+val incr : ?by:int -> t -> unit
+(** Add [by] (default 1).  No-op while the registry is disabled. *)
+
+val set : t -> int -> unit
+(** Gauge write: replace the value.  No-op while disabled. *)
+
+val value : t -> int
+(** Current value (0 until first update or after {!reset}). *)
+
+val enabled : unit -> bool
+
+val enable : unit -> unit
+(** Zero every registered counter and start accepting updates. *)
+
+val disable : unit -> unit
+(** Stop accepting updates; values remain readable. *)
+
+val reset : unit -> unit
+(** Zero every registered counter without changing the enabled flag. *)
+
+val dump : unit -> (string * int) list
+(** Snapshot of every registered counter, sorted by name. *)
+
+val pp_summary : Format.formatter -> unit -> unit
+(** Human-readable registry listing, one [name value] line per counter
+    in {!dump} order. *)

@@ -1,0 +1,73 @@
+(** Span-based structured tracing for the scheduling pipeline.
+
+    A {e span} is one timed region of execution — a whole scheduler run,
+    one compaction pass, one simulator execution — opened and closed by
+    {!with_span}.  Spans nest: a span opened while another is running
+    records the enclosing depth, so exporters can reconstruct the call
+    tree without walking the runtime stack.
+
+    Tracing is {b off by default} and every probe is a single atomic
+    flag read when disabled, so instrumented code paths produce
+    byte-identical results and indistinguishable timings until a caller
+    opts in with {!enable} (the [ccsched] [--profile] flag, the bench
+    harness, or a test).
+
+    {2 Per-domain streams}
+
+    Each OCaml domain appends to its own private stream (no lock on the
+    hot path); {!spans} merges the streams deterministically — ordered
+    by (domain tag, per-domain begin order) — after the parallel section
+    has joined.  Collect results only once the traced work has finished;
+    spans still open or recorded by still-running domains are not
+    merged. *)
+
+type span = {
+  name : string;  (** probe name, e.g. ["compaction.pass"] *)
+  args : (string * string) list;  (** static key/value annotations *)
+  start_ns : int;  (** wall-clock start, ns since {!enable} *)
+  dur_ns : int;  (** wall-clock duration in ns, [>= 0] *)
+  depth : int;  (** nesting depth within its domain, [0] = root *)
+  domain : int;  (** dense per-collection domain tag, [0] = first seen *)
+  seq : int;  (** per-domain begin-order sequence number *)
+}
+
+val enabled : unit -> bool
+(** Whether spans are currently being recorded. *)
+
+val enable : unit -> unit
+(** Start a fresh collection: previously recorded spans are dropped, the
+    clock origin is reset, and recording turns on. *)
+
+val disable : unit -> unit
+(** Stop recording.  Already-collected spans remain readable. *)
+
+val reset : unit -> unit
+(** Drop every recorded span without changing the enabled flag. *)
+
+val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f ()] inside a span called [name].  The
+    span is closed (and recorded) even when [f] raises.  When tracing is
+    disabled this is exactly [f ()] after one atomic load. *)
+
+val spans : unit -> span list
+(** Every closed span of the current collection, merged across domains
+    in (domain, seq) order — a deterministic function of the recorded
+    data, independent of wall-clock ties. *)
+
+val aggregate : unit -> (string * int * int) list
+(** Per-name rollup of {!spans}: [(name, count, total_ns)], sorted by
+    name.  Nested spans are {e not} subtracted from their parents; each
+    name's total is the sum of its own wall-clock durations. *)
+
+val pp_summary : Format.formatter -> unit -> unit
+(** Human-readable table of {!aggregate}: one line per span name with
+    count, total and mean wall-clock time. *)
+
+val to_chrome_json : ?counters:(string * int) list -> unit -> string
+(** The current collection as Chrome [trace_event] JSON (object format),
+    loadable in [chrome://tracing] and {{:https://ui.perfetto.dev}
+    Perfetto}.  Every span becomes a complete ([ph = "X"]) event with
+    microsecond [ts]/[dur], its domain as [tid] and its args attached;
+    [counters] (e.g. {!Counters.dump}) is embedded as a top-level
+    ["counters"] object, which trace viewers ignore but scripts can
+    read back. *)

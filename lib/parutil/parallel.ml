@@ -2,38 +2,54 @@ let recommended_domains () = max 1 (Domain.recommended_domain_count ())
 
 type 'b cell = Pending | Done of 'b | Failed of exn
 
+let c_tasks = Obs.Counters.counter "parutil.tasks"
+let c_domains = Obs.Counters.counter "parutil.domains"
+
+(* Wrapping every task in a span exercises Obs.Trace's per-domain
+   streams: each worker domain records into its own buffer, and the
+   exporter merges them after the join below. *)
+let traced_task i f x =
+  Obs.Counters.incr c_tasks;
+  Obs.Trace.with_span "parutil.task" ~args:[ ("index", string_of_int i) ]
+    (fun () -> f i x)
+
 let mapi ?domains f items =
   let n = List.length items in
   let workers =
     let d = match domains with Some d -> d | None -> recommended_domains () in
     max 1 (min d n)
   in
-  if workers <= 1 || n <= 1 then List.mapi f items
-  else begin
-    let input = Array.of_list items in
-    let output = Array.make n Pending in
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          (output.(i) <-
-            (match f i input.(i) with
-            | v -> Done v
-            | exception e -> Failed e));
+  Obs.Trace.with_span "parutil.map"
+    ~args:
+      [ ("items", string_of_int n); ("domains", string_of_int workers) ]
+    (fun () ->
+      Obs.Counters.incr c_domains ~by:workers;
+      if workers <= 1 || n <= 1 then List.mapi (fun i x -> traced_task i f x) items
+      else begin
+        let input = Array.of_list items in
+        let output = Array.make n Pending in
+        let next = Atomic.make 0 in
+        let worker () =
+          let rec loop () =
+            let i = Atomic.fetch_and_add next 1 in
+            if i < n then begin
+              (output.(i) <-
+                (match traced_task i f input.(i) with
+                | v -> Done v
+                | exception e -> Failed e));
+              loop ()
+            end
+          in
           loop ()
-        end
-      in
-      loop ()
-    in
-    let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join spawned;
-    Array.to_list output
-    |> List.map (function
-         | Done v -> v
-         | Failed e -> raise e
-         | Pending -> assert false)
-  end
+        in
+        let spawned = List.init (workers - 1) (fun _ -> Domain.spawn worker) in
+        worker ();
+        List.iter Domain.join spawned;
+        Array.to_list output
+        |> List.map (function
+             | Done v -> v
+             | Failed e -> raise e
+             | Pending -> assert false)
+      end)
 
 let map ?domains f items = mapi ?domains (fun _ x -> f x) items

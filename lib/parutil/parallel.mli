@@ -5,7 +5,12 @@
     (workload, architecture, mode) cell — are embarrassingly parallel.
     [map] preserves order and raises the first exception encountered,
     so results are indistinguishable from [List.map] up to wall-clock
-    time. *)
+    time.
+
+    When observability is enabled (see [Obs.Trace] / [Obs.Counters]),
+    each call records a [parutil.map] span, every task a [parutil.task]
+    span in its worker domain's stream, and the [parutil.tasks] /
+    [parutil.domains] counters tally work items and domains used. *)
 
 val recommended_domains : unit -> int
 (** [Domain.recommended_domain_count], at least 1. *)

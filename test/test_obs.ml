@@ -1,0 +1,350 @@
+(* Observability layer (Obs.Trace / Obs.Counters): the no-op fast path,
+   span nesting, the counters registry, per-domain stream merging, the
+   Chrome trace_event exporter, and a golden structure test pinning the
+   span tree and counter values of the fig7 / mesh-2x4 compaction run —
+   including that enabling tracing leaves the schedule byte-identical to
+   the golden signature. *)
+
+module Trace = Obs.Trace
+module Counters = Obs.Counters
+module Schedule = Cyclo.Schedule
+module Compaction = Cyclo.Compaction
+
+let quiet () =
+  Trace.disable ();
+  Counters.disable ();
+  Trace.reset ();
+  Counters.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Fast path                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_disabled_is_noop () =
+  quiet ();
+  let r = Trace.with_span "unrecorded" (fun () -> 41 + 1) in
+  Alcotest.(check int) "with_span passes the result through" 42 r;
+  Alcotest.(check int) "no span recorded" 0 (List.length (Trace.spans ()));
+  let c = Counters.counter "test.noop" in
+  Counters.incr c;
+  Counters.incr c ~by:10;
+  Counters.set c 99;
+  Alcotest.(check int) "counter untouched while disabled" 0 (Counters.value c)
+
+(* ------------------------------------------------------------------ *)
+(* Span recording                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let shape spans =
+  List.map (fun s -> (s.Trace.depth, s.Trace.name)) spans
+
+let test_nesting () =
+  Trace.enable ();
+  Trace.with_span "outer" (fun () ->
+      Trace.with_span "inner" (fun () -> ());
+      Trace.with_span "inner" (fun () -> ()));
+  Trace.with_span "second-root" (fun () -> ());
+  Trace.disable ();
+  Alcotest.(check (list (pair int string)))
+    "depths and begin order"
+    [ (0, "outer"); (1, "inner"); (1, "inner"); (0, "second-root") ]
+    (shape (Trace.spans ()));
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        ("non-negative duration of " ^ s.Trace.name)
+        true
+        (s.Trace.dur_ns >= 0 && s.Trace.start_ns >= 0))
+    (Trace.spans ());
+  quiet ()
+
+let test_span_survives_exception () =
+  Trace.enable ();
+  (try Trace.with_span "boom" (fun () -> failwith "expected") with
+  | Failure _ -> ());
+  Trace.disable ();
+  Alcotest.(check (list (pair int string)))
+    "raising span still recorded" [ (0, "boom") ]
+    (shape (Trace.spans ()));
+  quiet ()
+
+let test_enable_drops_previous () =
+  Trace.enable ();
+  Trace.with_span "old" (fun () -> ());
+  Trace.enable ();
+  Trace.with_span "new" (fun () -> ());
+  Trace.disable ();
+  Alcotest.(check (list (pair int string)))
+    "only the new collection remains" [ (0, "new") ]
+    (shape (Trace.spans ()));
+  quiet ()
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_counters () =
+  Counters.enable ();
+  let c = Counters.counter "test.counter" in
+  let g = Counters.counter "test.gauge" in
+  Counters.incr c;
+  Counters.incr c ~by:3;
+  Counters.set g 7;
+  Counters.set g 5;
+  Alcotest.(check int) "incr accumulates" 4 (Counters.value c);
+  Alcotest.(check int) "set is last-write-wins" 5 (Counters.value g);
+  Alcotest.(check bool) "same name, same handle" true
+    (Counters.value (Counters.counter "test.counter") = 4);
+  let dump = Counters.dump () in
+  Alcotest.(check (option int))
+    "dump carries the value" (Some 4)
+    (List.assoc_opt "test.counter" dump);
+  let sorted = List.sort compare dump in
+  Alcotest.(check bool) "dump is name-sorted" true (dump = sorted);
+  Counters.enable ();
+  Alcotest.(check int) "enable zeroes the registry" 0 (Counters.value c);
+  quiet ()
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain streams (Parutil integration)                             *)
+(* ------------------------------------------------------------------ *)
+
+let count name spans =
+  List.length (List.filter (fun s -> s.Trace.name = name) spans)
+
+let test_parallel_streams () =
+  Trace.enable ();
+  Counters.enable ();
+  let r = Parutil.Parallel.mapi ~domains:3 (fun i x -> i + x) [ 10; 20; 30; 40 ] in
+  Trace.disable ();
+  Counters.disable ();
+  Alcotest.(check (list int)) "results as List.mapi" [ 10; 21; 32; 43 ] r;
+  let spans = Trace.spans () in
+  Alcotest.(check int) "one map span" 1 (count "parutil.map" spans);
+  Alcotest.(check int) "one span per task" 4 (count "parutil.task" spans);
+  Alcotest.(check int) "tasks counted" 4
+    (Counters.value (Counters.counter "parutil.tasks"));
+  Alcotest.(check int) "domains counted" 3
+    (Counters.value (Counters.counter "parutil.domains"));
+  (* The merge is keyed on (domain, seq): spans of one domain stay in
+     begin order even after worker streams are interleaved. *)
+  let rec per_domain_ordered = function
+    | a :: (b :: _ as rest) ->
+        (a.Trace.domain < b.Trace.domain
+        || (a.Trace.domain = b.Trace.domain && a.Trace.seq < b.Trace.seq))
+        && per_domain_ordered rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "deterministic merge order" true
+    (per_domain_ordered spans);
+  quiet ()
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace_event JSON                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Minimal JSON syntax checker — enough to guarantee the exporter's
+   output loads in chrome://tracing / Perfetto / json.tool. *)
+let json_valid s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\n' | '\t' | '\r') ->
+        incr pos;
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c = if peek () = Some c then incr pos else raise Exit in
+  let lit w =
+    let l = String.length w in
+    if !pos + l <= n && String.sub s !pos l = w then pos := !pos + l
+    else raise Exit
+  in
+  let str () =
+    expect '"';
+    let rec go () =
+      match peek () with
+      | Some '"' -> incr pos
+      | Some '\\' ->
+          pos := !pos + 2;
+          go ()
+      | Some _ ->
+          incr pos;
+          go ()
+      | None -> raise Exit
+    in
+    go ()
+  in
+  let number () =
+    let numeric = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    (match peek () with
+    | Some c when numeric c -> ()
+    | _ -> raise Exit);
+    while match peek () with Some c when numeric c -> true | _ -> false do
+      incr pos
+    done
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' -> obj ()
+    | Some '[' -> arr ()
+    | Some '"' -> str ()
+    | Some ('-' | '0' .. '9') -> number ()
+    | Some 't' -> lit "true"
+    | Some 'f' -> lit "false"
+    | Some 'n' -> lit "null"
+    | _ -> raise Exit
+  and obj () =
+    expect '{';
+    skip_ws ();
+    if peek () = Some '}' then incr pos
+    else
+      let rec members () =
+        skip_ws ();
+        str ();
+        skip_ws ();
+        expect ':';
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            incr pos;
+            members ()
+        | Some '}' -> incr pos
+        | _ -> raise Exit
+      in
+      members ()
+  and arr () =
+    expect '[';
+    skip_ws ();
+    if peek () = Some ']' then incr pos
+    else
+      let rec elems () =
+        value ();
+        skip_ws ();
+        match peek () with
+        | Some ',' ->
+            incr pos;
+            elems ()
+        | Some ']' -> incr pos
+        | _ -> raise Exit
+      in
+      elems ()
+  in
+  match
+    value ();
+    skip_ws ();
+    !pos = n
+  with
+  | ok -> ok
+  | exception Exit -> false
+
+let test_chrome_export () =
+  Trace.enable ();
+  Trace.with_span "a\"quoted\"" ~args:[ ("k", "v\\w") ] (fun () ->
+      Trace.with_span "b" (fun () -> ()));
+  Trace.disable ();
+  let json =
+    Trace.to_chrome_json ~counters:[ ("c.one", 1); ("c.two", 2) ] ()
+  in
+  Alcotest.(check bool) "exporter output is valid JSON" true (json_valid json);
+  let mem needle =
+    let ln = String.length needle and n = String.length json in
+    let rec go i = i + ln <= n && (String.sub json i ln = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has traceEvents" true (mem "\"traceEvents\"");
+  Alcotest.(check bool) "has complete events" true (mem "\"ph\": \"X\"");
+  Alcotest.(check bool) "has the counters block" true (mem "\"counters\"");
+  Alcotest.(check bool) "counter value embedded" true (mem "\"c.two\": 2");
+  Alcotest.(check bool) "escapes quotes in names" true (mem "a\\\"quoted\\\"");
+  Alcotest.(check bool) "empty collection still valid" true
+    (json_valid (Trace.to_chrome_json ()));
+  quiet ()
+
+(* ------------------------------------------------------------------ *)
+(* Golden trace: fig7 on mesh-2x4                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* From test_golden_signatures.ml — the compacted best schedule must
+   stay byte-identical with tracing enabled. *)
+let fig7_mesh2x4_best =
+  "6;1@0;3@4;3@1;4@4;5@4;1@5;2@2;6@1;3@2;3@5;4@2;5@5;6@4;5@2;2@0;3@0;2@1;1@4;5@0"
+
+let fig7_mesh2x4_passes = 76
+
+let test_golden_trace () =
+  let g =
+    match Dataflow.Io.read_file ~path:"../data/fig7.csdfg" with
+    | Ok g -> g
+    | Error e -> Alcotest.fail e
+  in
+  let topo = Topology.mesh ~rows:2 ~cols:4 in
+  Trace.enable ();
+  Counters.enable ();
+  let r = Compaction.run_on ~validate:false g topo in
+  Trace.disable ();
+  Counters.disable ();
+  Alcotest.(check string)
+    "schedule byte-identical with tracing on" fig7_mesh2x4_best
+    (Schedule.signature r.Compaction.best);
+  let spans = Trace.spans () in
+  (* sequential run: a single stream *)
+  List.iter
+    (fun s ->
+      Alcotest.(check int) "all spans on one domain" 0 s.Trace.domain)
+    spans;
+  let expected =
+    (0, "compaction.run") :: (1, "startup.run")
+    :: List.concat
+         (List.init fig7_mesh2x4_passes (fun _ ->
+              [ (1, "compaction.pass"); (2, "rotation.start") ]))
+  in
+  Alcotest.(check (list (pair int string)))
+    "golden span structure" expected (shape spans);
+  let counter name = Counters.value (Counters.counter name) in
+  Alcotest.(check int) "one startup run" 1 (counter "startup.runs");
+  Alcotest.(check int) "pass counter matches the trace"
+    (List.length r.Compaction.trace)
+    (counter "compaction.passes");
+  Alcotest.(check int) "golden pass count" fig7_mesh2x4_passes
+    (counter "compaction.passes");
+  Alcotest.(check int) "every pass rotated" fig7_mesh2x4_passes
+    (counter "rotation.rotations");
+  Alcotest.(check int) "best length gauge" 6
+    (counter "compaction.best_length");
+  Alcotest.(check bool) "occupancy queries observed" true
+    (counter "schedule.occupancy_queries" > 0);
+  quiet ()
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "fast-path",
+        [ Alcotest.test_case "disabled is a no-op" `Quick test_disabled_is_noop ] );
+      ( "trace",
+        [
+          Alcotest.test_case "nesting and order" `Quick test_nesting;
+          Alcotest.test_case "exception safety" `Quick
+            test_span_survives_exception;
+          Alcotest.test_case "enable starts fresh" `Quick
+            test_enable_drops_previous;
+        ] );
+      ( "counters",
+        [ Alcotest.test_case "registry semantics" `Quick test_counters ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "per-domain streams merge" `Quick
+            test_parallel_streams;
+        ] );
+      ( "export",
+        [ Alcotest.test_case "chrome trace_event JSON" `Quick test_chrome_export ] );
+      ( "golden",
+        [ Alcotest.test_case "fig7 mesh-2x4 span tree" `Quick test_golden_trace ] );
+    ]
