@@ -1,0 +1,171 @@
+(* Bench regression gate over BENCH_history.jsonl.
+
+     dune exec bench/check_regression.exe
+     dune exec bench/check_regression.exe -- --history FILE --tolerance 15
+
+   Every record is schema-validated ("ccsched-bench-history/1"); then
+   the newest record is compared against history:
+
+   - schedule lengths (startup and best) and pass counts are exact and
+     machine-independent, so any (workload, topology) whose best or
+     startup length grew versus the most recent earlier record is a hard
+     failure;
+   - ns/run figures are only meaningful on one machine at one quota, so
+     they are compared against the most recent earlier record with the
+     same host and the same --quick flag (if any), failing beyond the
+     tolerance (default 15%).
+
+   Exit codes: 0 ok / nothing to compare, 1 regression, 2 bad history. *)
+
+let schema_id = "ccsched-bench-history/1"
+
+let die_usage () =
+  prerr_endline
+    "usage: check_regression [--history FILE.jsonl] [--tolerance PCT]";
+  exit 2
+
+let rec parse_args history tolerance = function
+  | [] -> (history, tolerance)
+  | "--history" :: path :: rest -> parse_args path tolerance rest
+  | "--tolerance" :: pct :: rest -> (
+      match float_of_string_opt pct with
+      | Some t when t >= 0. -> parse_args history t rest
+      | _ -> die_usage ())
+  | _ -> die_usage ()
+
+type record = {
+  line : int;
+  host : string;
+  quick : bool;
+  benchmarks : (string * float) list;
+  schedules : ((string * string) * (int * int * int)) list;
+      (* (workload, topology) -> (startup, best, passes) *)
+}
+
+let malformed line what =
+  Printf.eprintf "check_regression: history line %d: %s\n" line what;
+  exit 2
+
+let field line json name conv =
+  match Option.bind (Obs.Json.member name json) conv with
+  | Some v -> v
+  | None -> malformed line (Printf.sprintf "missing or malformed %S" name)
+
+let validate line json =
+  (match Option.bind (Obs.Json.member "schema" json) Obs.Json.to_str with
+  | Some s when s = schema_id -> ()
+  | Some s -> malformed line (Printf.sprintf "unknown schema %S" s)
+  | None -> malformed line "missing \"schema\"");
+  ignore (field line json "unix_time" Obs.Json.to_num);
+  let quick =
+    match Obs.Json.member "quick" json with
+    | Some (Obs.Json.Bool b) -> b
+    | _ -> malformed line "missing or malformed \"quick\""
+  in
+  let benchmarks =
+    field line json "benchmarks" Obs.Json.to_list
+    |> List.map (fun item ->
+           ( field line item "name" Obs.Json.to_str,
+             field line item "ns_per_run" Obs.Json.to_num ))
+  and schedules =
+    field line json "schedules" Obs.Json.to_list
+    |> List.map (fun item ->
+           ( ( field line item "workload" Obs.Json.to_str,
+               field line item "topology" Obs.Json.to_str ),
+             ( field line item "startup" Obs.Json.to_int,
+               field line item "best" Obs.Json.to_int,
+               field line item "passes" Obs.Json.to_int ) ))
+  in
+  { line; host = field line json "host" Obs.Json.to_str; quick; benchmarks;
+    schedules }
+
+let load path =
+  let ic =
+    try open_in path
+    with Sys_error msg ->
+      Printf.eprintf "check_regression: %s\n" msg;
+      exit 2
+  in
+  let records = ref [] in
+  let line_no = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr line_no;
+       if String.trim line <> "" then
+         match Obs.Json.parse line with
+         | Ok json -> records := validate !line_no json :: !records
+         | Error msg -> malformed !line_no msg
+     done
+   with End_of_file -> close_in ic);
+  List.rev !records
+
+let () =
+  let history, tolerance =
+    parse_args "BENCH_history.jsonl" 15. (List.tl (Array.to_list Sys.argv))
+  in
+  let records = load history in
+  Printf.printf "%s: %d valid record(s)\n" history (List.length records);
+  match List.rev records with
+  | [] | [ _ ] ->
+      print_endline "nothing to compare against; gate passes trivially"
+  | candidate :: earlier ->
+      let failures = ref [] in
+      let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+      (* schedule lengths: deterministic, compared against the most
+         recent earlier record that has the same (workload, topology) *)
+      List.iter
+        (fun (key, (startup, best, passes)) ->
+          match
+            List.find_map (fun r -> List.assoc_opt key r.schedules) earlier
+          with
+          | None -> ()
+          | Some (startup0, best0, passes0) ->
+              let wn, tn = key in
+              if best > best0 then
+                fail "%s/%s: best length %d -> %d (regression)" wn tn best0
+                  best
+              else if best < best0 then
+                Printf.printf "%s/%s: best length improved %d -> %d\n" wn tn
+                  best0 best;
+              if startup > startup0 then
+                fail "%s/%s: startup length %d -> %d (regression)" wn tn
+                  startup0 startup;
+              if passes <> passes0 then
+                Printf.printf "%s/%s: pass count %d -> %d\n" wn tn passes0
+                  passes)
+        candidate.schedules;
+      (* ns/run: same host, same quota class only *)
+      (match
+         List.find_opt
+           (fun r -> r.host = candidate.host && r.quick = candidate.quick)
+           earlier
+       with
+      | None ->
+          Printf.printf
+            "no earlier record from host %S (quick=%b); skipping ns/run \
+             comparison\n"
+            candidate.host candidate.quick
+      | Some baseline ->
+          Printf.printf
+            "comparing ns/run against record at line %d (tolerance %.0f%%)\n"
+            baseline.line tolerance;
+          List.iter
+            (fun (name, ns) ->
+              match List.assoc_opt name baseline.benchmarks with
+              | None -> ()
+              | Some ns0 when ns0 <= 0. -> ()
+              | Some ns0 ->
+                  let delta = 100. *. ((ns /. ns0) -. 1.) in
+                  if delta > tolerance then
+                    fail "%s: %.1f ns -> %.1f ns (%+.1f%% > %.0f%%)" name ns0
+                      ns delta tolerance
+                  else if delta < -.tolerance then
+                    Printf.printf "%s: improved %+.1f%%\n" name delta)
+            candidate.benchmarks);
+      if !failures = [] then print_endline "bench regression gate: OK"
+      else begin
+        print_endline "bench regression gate: FAILED";
+        List.iter (fun m -> Printf.printf "  %s\n" m) (List.rev !failures);
+        exit 1
+      end

@@ -166,6 +166,76 @@ let json_escape s =
        (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
        (List.init (String.length s) (String.get s)))
 
+(* Deterministic schedule-quality rows: startup/best lengths and pass
+   counts for every workload x topology drive.  These are what the
+   regression gate compares across machines — unlike ns/run they are
+   exact, so any change is a real behaviour change.  Counters run during
+   the sweep and are reset between workloads: without the reset the
+   second workload's dump would absorb the first one's counts and the
+   per-workload summaries would be meaningless. *)
+let schedule_rows () =
+  Obs.Counters.enable ();
+  let rows =
+    List.map
+      (fun (wn, g) ->
+        Obs.Counters.reset ();
+        let per_topo =
+          List.map
+            (fun (tn, topo) ->
+              let r = Compaction.run_on ~validate:false g topo in
+              ( tn,
+                Schedule.length r.Compaction.startup,
+                Schedule.length r.Compaction.best,
+                List.length r.Compaction.trace ))
+            (topologies ())
+        in
+        (wn, per_topo, Obs.Counters.dump ()))
+      (workloads ())
+  in
+  Obs.Counters.disable ();
+  rows
+
+(* One line per run appended to BENCH_history.jsonl; check_regression.ml
+   reads it back (schema "ccsched-bench-history/1", see bench/README.md).
+   ns/run figures are only comparable between records from the same host
+   with the same --quick setting, so both are recorded. *)
+let append_history path ~quick rows sched_rows =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"schema\":\"ccsched-bench-history/1\",\"unix_time\":%.0f,\
+        \"host\":\"%s\",\"quick\":%b,\"benchmarks\":["
+       (Unix.time ())
+       (json_escape (Unix.gethostname ()))
+       quick);
+  List.iteri
+    (fun i (name, ns) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf "{\"name\":\"%s\",\"ns_per_run\":%.1f}"
+           (json_escape name) ns))
+    rows;
+  Buffer.add_string buf "],\"schedules\":[";
+  let first = ref true in
+  List.iter
+    (fun (wn, per_topo, _) ->
+      List.iter
+        (fun (tn, startup, best, passes) ->
+          if not !first then Buffer.add_char buf ',';
+          first := false;
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"workload\":\"%s\",\"topology\":\"%s\",\"startup\":%d,\
+                \"best\":%d,\"passes\":%d}"
+               (json_escape wn) (json_escape tn) startup best passes))
+        per_topo)
+    sched_rows;
+  Buffer.add_string buf "]}\n";
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Fmt.pr "appended history record to %s@." path
+
 (* One fully traced compaction drive on the headline workload: the
    span rollup attributes the drive's wall-clock to pipeline phases
    (startup sweep, compaction passes, rotation), and the counter dump
@@ -236,4 +306,20 @@ let () =
     |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
   List.iter (fun (name, ns) -> Fmt.pr "%-36s %14.1f ns/run@." name ns) rows;
-  emit_json "BENCH_sched.json" rows
+  let sched_rows = schedule_rows () in
+  List.iter
+    (fun (wn, per_topo, counters) ->
+      List.iter
+        (fun (tn, startup, best, passes) ->
+          Fmt.pr "schedule %-10s %-8s startup %3d -> best %3d (%d passes)@."
+            wn tn startup best passes)
+        per_topo;
+      let find name = List.assoc_opt name counters in
+      match (find "compaction.passes", find "startup.steps") with
+      | Some passes, Some steps ->
+          Fmt.pr "counters %-10s compaction.passes=%d startup.steps=%d@." wn
+            passes steps
+      | _ -> ())
+    sched_rows;
+  emit_json "BENCH_sched.json" rows;
+  append_history "BENCH_history.jsonl" ~quick rows sched_rows

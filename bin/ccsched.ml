@@ -586,6 +586,205 @@ let validate_cmd =
     Term.(const run $ graph_arg $ csv_arg $ arch_arg $ slowdown_arg
           $ speeds_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Analytics: explain / report / diff                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Run the pipeline with the decision journal on, and hand back the
+   result plus the merged event list.  The journal is kept out of
+   `with_observability` on purpose: it changes nothing about the
+   schedule, but enabling it costs allocations per decision, so only the
+   analytics commands pay for it. *)
+let with_journal run =
+  Obs.Journal.enable ();
+  let result = run () in
+  Obs.Journal.disable ();
+  (result, Obs.Journal.events ())
+
+let resolve_node g spec =
+  let by_label =
+    List.find_opt
+      (fun v -> Dataflow.Csdfg.label g v = spec)
+      (Dataflow.Csdfg.nodes g)
+  in
+  match by_label with
+  | Some v -> Ok v
+  | None -> (
+      match int_of_string_opt spec with
+      | Some v when v >= 0 && v < Dataflow.Csdfg.n_nodes g -> Ok v
+      | _ ->
+          Error
+            (Printf.sprintf "unknown node %S in %s (labels: %s)" spec
+               (Dataflow.Csdfg.name g)
+               (String.concat " "
+                  (List.map (Dataflow.Csdfg.label g) (Dataflow.Csdfg.nodes g)))))
+
+let explain_cmd =
+  let node_arg =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"NODE" ~doc:"Node label (or integer id) to explain.")
+  in
+  let run spec node_spec arch mode passes slowdown speeds =
+    let g = prepared spec slowdown in
+    let topo = or_die (parse_arch arch) in
+    let speeds = or_die (parse_speeds topo speeds) in
+    let node = or_die (resolve_node g node_spec) in
+    let r, journal =
+      with_journal @@ fun () ->
+      Cyclo.Compaction.run_on ~mode ?speeds ?passes g topo
+    in
+    let best = r.Cyclo.Compaction.best in
+    Fmt.pr "workload %s on %s: start-up length %d, compacted length %d@."
+      (Dataflow.Csdfg.name g) (Topology.name topo)
+      (Cyclo.Schedule.length r.Cyclo.Compaction.startup)
+      (Cyclo.Schedule.length best);
+    Fmt.pr "%a@." Cyclo.Analysis.pp_explanation
+      (Cyclo.Analysis.explain ~journal best ~node)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Replay the scheduler with the decision journal on and show why \
+             one node landed where it did: the slots it was refused (with \
+             communication-bound, occupancy or tie-break reasons), its \
+             priority components at selection, and how compaction moved it.")
+    Term.(const run $ graph_arg $ node_arg $ arch_arg $ mode_arg $ passes_arg
+          $ slowdown_arg $ speeds_arg)
+
+let report_cmd =
+  let svg_arg =
+    Arg.(value & opt (some string) None
+         & info [ "svg" ] ~docv:"FILE.svg"
+             ~doc:"Also write the traffic heatmap as a standalone SVG.")
+  in
+  let topk_arg =
+    Arg.(value & opt int 5
+         & info [ "k"; "top" ] ~docv:"K"
+             ~doc:"Entries in the top-k blocking lists (default 5).")
+  in
+  let startup_flag =
+    Arg.(value & flag
+         & info [ "startup" ]
+             ~doc:"Analyse the start-up schedule instead of the compacted \
+                   one.")
+  in
+  let run spec arch mode passes slowdown speeds k svg startup_only =
+    let g = prepared spec slowdown in
+    let topo = or_die (parse_arch arch) in
+    let speeds = or_die (parse_speeds topo speeds) in
+    let r, journal =
+      with_journal @@ fun () ->
+      Cyclo.Compaction.run_on ~mode ?speeds ?passes g topo
+    in
+    let sched =
+      if startup_only then r.Cyclo.Compaction.startup
+      else r.Cyclo.Compaction.best
+    in
+    Fmt.pr "%a@." Cyclo.Analysis.pp_report
+      (Cyclo.Analysis.report ~topo ~journal ~k sched);
+    match svg with
+    | Some path ->
+        Cyclo.Export.write_file ~path (Cyclo.Analysis.traffic_svg sched);
+        Fmt.pr "wrote %s@." path
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Schedule analytics: per-PE occupancy timelines, the traffic \
+             matrix and per-link load, iteration-bound gap attribution, and \
+             the top blocking edges and hardest placements.")
+    Term.(const run $ graph_arg $ arch_arg $ mode_arg $ passes_arg
+          $ slowdown_arg $ speeds_arg $ topk_arg $ svg_arg $ startup_flag)
+
+let diff_cmd =
+  let pos_file p docv =
+    Arg.(required & pos p (some string) None
+         & info [] ~docv
+             ~doc:"Schedule JSON produced by $(b,ccsched export -f json).")
+  in
+  let read_file path =
+    match
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with
+    | text -> text
+    | exception Sys_error msg -> or_die (Error msg)
+  in
+  let load path =
+    match Obs.Json.parse (read_file path) with
+    | Ok json -> json
+    | Error msg -> or_die (Error (Printf.sprintf "%s: %s" path msg))
+  in
+  let field path name conv json =
+    match Option.bind (Obs.Json.member name json) conv with
+    | Some v -> v
+    | None ->
+        or_die
+          (Error (Printf.sprintf "%s: missing or malformed field %S" path name))
+  in
+  let assignments path json =
+    field path "assignments" Obs.Json.to_list json
+    |> List.map (fun item ->
+           ( field path "node" Obs.Json.to_str item,
+             ( field path "cb" Obs.Json.to_int item,
+               field path "pe" Obs.Json.to_int item ) ))
+  in
+  let run a_path b_path =
+    let a = load a_path and b = load b_path in
+    let summary path json =
+      Printf.sprintf "%s on %s, length %d, %d processors, %d nodes"
+        (field path "graph" Obs.Json.to_str json)
+        (field path "comm" Obs.Json.to_str json)
+        (field path "length" Obs.Json.to_int json)
+        (field path "processors" Obs.Json.to_int json)
+        (List.length (assignments path json))
+    in
+    Fmt.pr "A %s: %s@." a_path (summary a_path a);
+    Fmt.pr "B %s: %s@." b_path (summary b_path b);
+    if
+      field a_path "graph" Obs.Json.to_str a
+      <> field b_path "graph" Obs.Json.to_str b
+    then Fmt.pr "warning: schedules are for different graphs@.";
+    let la = field a_path "length" Obs.Json.to_int a in
+    let lb = field b_path "length" Obs.Json.to_int b in
+    if la = lb then Fmt.pr "length: unchanged (%d)@." la
+    else
+      Fmt.pr "length: %d -> %d (%+d, %.1f%%)@." la lb (lb - la)
+        (100. *. float_of_int (lb - la) /. float_of_int (max 1 la));
+    let asg_a = assignments a_path a and asg_b = assignments b_path b in
+    let tbl = Hashtbl.create 32 in
+    List.iter (fun (node, slot) -> Hashtbl.replace tbl node slot) asg_a;
+    let moved = ref 0 and same = ref 0 and added = ref [] in
+    List.iter
+      (fun (node, (cb_b, pe_b)) ->
+        match Hashtbl.find_opt tbl node with
+        | Some (cb_a, pe_a) ->
+            Hashtbl.remove tbl node;
+            if cb_a = cb_b && pe_a = pe_b then incr same
+            else begin
+              if !moved = 0 then Fmt.pr "moved nodes:@.";
+              incr moved;
+              Fmt.pr "  %-8s cs %d pe%d -> cs %d pe%d%s@." node cb_a pe_a cb_b
+                pe_b
+                (if pe_a <> pe_b then "  (changed processor)" else "")
+            end
+        | None -> added := node :: !added)
+      asg_b;
+    let removed = Hashtbl.fold (fun node _ acc -> node :: acc) tbl [] in
+    if !added <> [] then
+      Fmt.pr "only in B: %s@." (String.concat " " (List.rev !added));
+    if removed <> [] then
+      Fmt.pr "only in A: %s@." (String.concat " " (List.sort compare removed));
+    Fmt.pr "summary: %d unchanged, %d moved, %d added, %d removed@." !same
+      !moved (List.length !added) (List.length removed)
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Compare two exported schedule JSON files: length change, \
+             per-node placement moves, and nodes present in only one.")
+    Term.(const run $ pos_file 0 "A.json" $ pos_file 1 "B.json")
+
 let () =
   let info =
     Cmd.info "ccsched" ~version:"1.0.0"
@@ -598,4 +797,4 @@ let () =
        (Cmd.group info
           [ list_cmd; show_cmd; schedule_cmd; compare_cmd; export_cmd;
             simulate_cmd; pipeline_cmd; autotune_cmd; partition_cmd;
-            optimal_cmd; validate_cmd ]))
+            optimal_cmd; validate_cmd; explain_cmd; report_cmd; diff_cmd ]))

@@ -1,0 +1,117 @@
+(** Post-hoc schedule analytics and decision-provenance reports.
+
+    Everything here is read-only over a finished {!Schedule.t} (plus,
+    optionally, the {!Obs.Journal} events recorded while it was built):
+    per-processor occupancy timelines, the communication traffic a
+    schedule pushes through the machine, what constraint binds the table
+    length, and per-node placement histories for [ccsched explain]. *)
+
+type binding = Obs.Journal.binding =
+  | Rows of { last : int }
+  | Delayed_edge of { src : int; dst : int; delay : int; psl : int }
+
+val binding_constraint : Schedule.t -> binding
+(** What pins the schedule's minimum legal length
+    ([Timing.required_length]): the delayed edge with the largest
+    projected schedule length (Lemma 4.3) when that reaches the last
+    occupied row, otherwise the last occupied row itself.  Ties between
+    an edge's PSL and the row count are attributed to the edge — the
+    edge is the constraint a retiming could still move. *)
+
+type pe_util = {
+  pe : int;
+  busy : int;  (** occupied control steps *)
+  util : float;  (** [busy / length], 0 on an empty table *)
+  timeline : string;
+      (** one char per control step [1 .. length]: [#] busy, [.] idle *)
+}
+
+val pe_utilization : Schedule.t -> pe_util list
+(** One entry per processor, in processor order. *)
+
+val traffic_matrix : Schedule.t -> int array array
+(** [P x P] matrix of data volume per iteration: cell [(src, dst)] sums
+    the volumes of edges scheduled from processor [src] to processor
+    [dst] ([src <> dst]; edges with an unassigned endpoint are
+    skipped). *)
+
+val link_traffic : Schedule.t -> Topology.t -> ((int * int) * int) list
+(** Volume per iteration crossing each physical link, assuming every
+    message follows the topology's canonical shortest route
+    ({!Topology.route}).  Links are undirected, keyed [(min, max)],
+    sorted, zero-traffic links omitted.  Under store-and-forward costs
+    the total over links equals [hops * volume] summed over cross
+    edges — the schedule's communication cost per iteration.
+    @raise Invalid_argument when the topology's processor count differs
+    from the schedule's. *)
+
+val pp_traffic : Format.formatter -> int array array -> unit
+(** ASCII heatmap of a {!traffic_matrix}: rows are source processors,
+    columns destinations, [.] for zero. *)
+
+val traffic_svg : ?cell:int -> Schedule.t -> string
+(** Standalone SVG heatmap of the schedule's {!traffic_matrix}
+    ([cell] is the cell edge in pixels, default 28). *)
+
+type blocked = {
+  node : int;
+  rejections : int;  (** total [Candidate] events for the node *)
+  comm_bound : int;
+  occupied : int;
+  tiebreak : int;
+}
+
+type report = {
+  sched : Schedule.t;
+  length : int;
+  bound : int option;  (** iteration bound (ceiling); [None] if acyclic *)
+  gap : int option;  (** [length - bound] — 0 means rate-optimal *)
+  critical_cycle : int list option;
+      (** one cycle attaining the iteration bound *)
+  binding : binding;
+  utilization : float;
+  per_pe : pe_util list;
+  comm_cost : int;  (** communication steps paid per iteration *)
+  cross_edges : int;
+  traffic : int array array;
+  links : ((int * int) * int) list option;
+      (** per-link traffic; [None] without a topology *)
+  blocking_edges : (Dataflow.Csdfg.attr Digraph.Graph.edge * int) list;
+      (** top-k delayed edges by projected schedule length *)
+  blocking_nodes : blocked list;
+      (** top-k hardest-to-place nodes by journal rejection count;
+          empty without journal events *)
+}
+
+val report :
+  ?topo:Topology.t ->
+  ?journal:Obs.Journal.event list ->
+  ?k:int ->
+  Schedule.t ->
+  report
+(** Compute every analytic over one schedule.  [topo] enables per-link
+    traffic, [journal] enables the blocking-node tally, [k] (default 5)
+    caps the top-k lists. *)
+
+val pp_report : Format.formatter -> report -> unit
+
+type explanation = {
+  subject : int;
+  schedule : Schedule.t;
+  placed : Obs.Journal.event option;
+      (** the startup [Placed] event, when journaled *)
+  rejected : Obs.Journal.event list;
+      (** [Candidate] rejections for the node, in recording order *)
+  moves : Obs.Journal.event list;  (** [Refine_move]s touching the node *)
+  rotations : int;  (** compaction passes that retimed the node *)
+  entry : Schedule.entry option;  (** final slot in [schedule] *)
+}
+
+val explain :
+  ?journal:Obs.Journal.event list -> Schedule.t -> node:int -> explanation
+(** The placement history of one node: why the startup scheduler put it
+    where it did, which slots it was refused, and how compaction moved
+    it since.  With an empty journal only the final slot is reported.
+    @raise Invalid_argument when the node id is out of range. *)
+
+val pp_explanation : Format.formatter -> explanation -> unit

@@ -50,3 +50,8 @@ let cost t ~src ~dst ~volume =
     invalid_arg "Comm.cost: processor out of range";
   if volume < 0 then invalid_arg "Comm.cost: negative volume";
   if src = dst then 0 else t.cost_fn src dst volume
+
+let hops t ~src ~dst =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Comm.hops: processor out of range";
+  if src = dst then 0 else t.cost_fn src dst 1

@@ -46,3 +46,11 @@ val cost : t -> src:int -> dst:int -> volume:int -> int
 (** 0 whenever [src = dst].
     @raise Invalid_argument on out-of-range processors or negative
     volume. *)
+
+val hops : t -> src:int -> dst:int -> int
+(** The cost of shipping unit volume: the exact topology hop distance
+    for the store-and-forward ({!of_topology}) and wormhole models, the
+    scaled distance for {!scaled}, the latency for {!uniform}, 0 for
+    {!zero} — an effective distance used by decision-provenance events
+    and link-traffic analytics.  0 whenever [src = dst].
+    @raise Invalid_argument on out-of-range processors. *)

@@ -100,6 +100,15 @@ let drive ~mode ?scoring ~budget ~validate startup =
             (String.concat " " rotated)
             (Schedule.length next) pp_outcome outcome);
       let entry = { pass = i; rotated; length = Schedule.length next; outcome } in
+      if Obs.Journal.enabled () then
+        Obs.Journal.record
+          (Obs.Journal.Pass
+             {
+               pass = i;
+               length = Schedule.length next;
+               outcome = Fmt.str "%a" pp_outcome outcome;
+               binding = Analysis.binding_constraint next;
+             });
       let best =
         if Schedule.length next < Schedule.length best then next else best
       in

@@ -66,9 +66,11 @@ let try_move rng sched =
     else begin
       let moved = Schedule.assign without ~node:v ~cb:cs ~pe in
       let needed = Timing.required_length moved in
-      if needed <= Schedule.length sched then
-        Some (Schedule.set_length moved needed)
-      else None
+      let accepted = needed <= Schedule.length sched in
+      if Obs.Journal.enabled () then
+        Obs.Journal.record
+          (Obs.Journal.Refine_move { node = v; cs; pe; accepted });
+      if accepted then Some (Schedule.set_length moved needed) else None
     end
   end
 

@@ -38,6 +38,8 @@ let start sched =
           in
           Obs.Counters.incr c_rotations;
           Obs.Counters.incr c_nodes_rotated ~by:(List.length rotated);
+          if Obs.Journal.enabled () then
+            Obs.Journal.record (Obs.Journal.Rotated { nodes = rotated });
           Ok { rotated; previous_length; base; fallback }
         end
   end

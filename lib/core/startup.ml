@@ -59,6 +59,94 @@ let setup_for dfg =
       slot := Some s;
       s
 
+(* Decision provenance (Obs.Journal).  The helpers below run only when
+   the journal is enabled; the scheduling loop itself pays one atomic
+   load per placement attempt. *)
+
+(* The zero-delay predecessor whose data is the last to arrive at
+   processor [p] — the one that binds [arrival_bounds_all]'s entry. *)
+let latest_pred dfg comm sched v p =
+  List.fold_left
+    (fun acc (e : Csdfg.attr G.edge) ->
+      if Csdfg.delay e <> 0 then acc
+      else begin
+        let u = e.G.src in
+        let b =
+          Schedule.ce sched u
+          + Comm.cost comm ~src:(Schedule.pe sched u) ~dst:p
+              ~volume:(Csdfg.volume e)
+        in
+        match acc with
+        | Some (_, _, best) when best >= b -> acc
+        | _ -> Some (u, e, b)
+      end)
+    None (Csdfg.pred dfg v)
+
+(* First node occupying any cell of [cs .. cs + span - 1] on [pe]. *)
+let blocking_holder sched ~pe ~cs ~span =
+  let rec go s =
+    if s >= cs + span then None
+    else
+      match Schedule.node_at sched ~pe ~cs:s with
+      | Some h -> Some h
+      | None -> go (s + 1)
+  in
+  go cs
+
+let comm_bound_reason dfg comm sched v p =
+  match latest_pred dfg comm sched v p with
+  | Some (u, e, _) ->
+      Some
+        (Obs.Journal.Comm_bound
+           {
+             pred = u;
+             hops = Comm.hops comm ~src:(Schedule.pe sched u) ~dst:p;
+             volume = Csdfg.volume e;
+           })
+  | None -> None
+
+(* One [Candidate] rejection per processor other than the winner, with
+   the dominant reason: data still in flight (or arriving no earlier
+   than on the winner), a slot already running an earlier node, or a
+   slot lost this very step to a higher-priority ready node. *)
+let journal_decision dfg comm sched priority ~cs ~np v bounds best =
+  let reject p =
+    let reason =
+      if bounds.(p) >= cs then comm_bound_reason dfg comm sched v p
+      else begin
+        let span = Schedule.duration sched ~node:v ~pe:p in
+        if not (Schedule.is_free sched ~pe:p ~cb:cs ~span) then
+          match blocking_holder sched ~pe:p ~cs ~span with
+          | Some h when Schedule.cb sched h = cs ->
+              Some (Obs.Journal.Mobility { winner = h })
+          | Some h -> Some (Obs.Journal.Occupied { holder = h })
+          | None -> None
+        else if best >= 0 then comm_bound_reason dfg comm sched v p
+        else None
+      end
+    in
+    match reason with
+    | Some reason ->
+        Obs.Journal.record
+          (Obs.Journal.Candidate { node = v; cs; pe = p; reason })
+    | None -> ()
+  in
+  for p = 0 to np - 1 do
+    if p <> best then reject p
+  done;
+  if best >= 0 then
+    Obs.Journal.record
+      (Obs.Journal.Placed
+         {
+           node = v;
+           cs;
+           pe = best;
+           pf = Priority.pf priority sched ~cs v;
+           mobility = Priority.mobility priority v;
+           static_level = Priority.static_level priority v;
+           arrival = bounds.(best);
+         })
+
 let c_runs = Obs.Counters.counter "startup.runs"
 let c_steps = Obs.Counters.counter "startup.steps"
 let c_steps_skipped = Obs.Counters.counter "startup.steps_skipped"
@@ -160,6 +248,8 @@ let run ?(priority_strategy = Priority.Pf) ?speeds dfg comm =
           best_bound := b
         end
       done;
+      if Obs.Journal.enabled () then
+        journal_decision dfg comm !sched priority ~cs:!cs ~np v bounds !best;
       if !best < 0 then true (* keep in ready list *)
       else begin
         sched := Schedule.assign !sched ~node:v ~cb:!cs ~pe:!best;

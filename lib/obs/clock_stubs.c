@@ -1,0 +1,14 @@
+/* CLOCK_MONOTONIC for Obs.Trace: span timestamps must never go
+   backwards across wall-clock adjustments (NTP slew, manual set), which
+   Unix.gettimeofday cannot guarantee. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value obs_clock_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + ts.tv_nsec);
+}

@@ -1,0 +1,124 @@
+type reject_reason =
+  | Comm_bound of { pred : int; hops : int; volume : int }
+  | Occupied of { holder : int }
+  | Mobility of { winner : int }
+
+type binding =
+  | Rows of { last : int }
+  | Delayed_edge of { src : int; dst : int; delay : int; psl : int }
+
+type event =
+  | Candidate of { node : int; cs : int; pe : int; reason : reject_reason }
+  | Placed of {
+      node : int;
+      cs : int;
+      pe : int;
+      pf : int;
+      mobility : int;
+      static_level : int;
+      arrival : int;
+    }
+  | Rotated of { nodes : int list }
+  | Pass of { pass : int; length : int; outcome : string; binding : binding }
+  | Refine_move of { node : int; cs : int; pe : int; accepted : bool }
+
+(* Same per-domain stream scheme as Trace: no lock on the hot path, a
+   lazily re-registered stream per (domain, collection epoch), and a
+   deterministic (domain tag, begin order) merge after the traced work
+   has joined. *)
+type stream = {
+  mutable tag : int;
+  mutable epoch : int;
+  mutable items : (int * event) list;  (* (seq, event), newest first *)
+  mutable next_seq : int;
+}
+
+let enabled_flag = Atomic.make false
+let epoch = Atomic.make 0
+let next_tag = Atomic.make 0
+let registry_lock = Mutex.create ()
+let registry : stream list ref = ref []
+
+let stream_key : stream Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { tag = -1; epoch = -1; items = []; next_seq = 0 })
+
+let stream () =
+  let s = Domain.DLS.get stream_key in
+  let e = Atomic.get epoch in
+  if s.epoch <> e then begin
+    s.epoch <- e;
+    s.items <- [];
+    s.next_seq <- 0;
+    s.tag <- Atomic.fetch_and_add next_tag 1;
+    Mutex.protect registry_lock (fun () -> registry := s :: !registry)
+  end;
+  s
+
+let enabled () = Atomic.get enabled_flag
+
+let reset () =
+  Mutex.protect registry_lock (fun () -> registry := []);
+  Atomic.set next_tag 0;
+  Atomic.incr epoch
+
+let enable () =
+  reset ();
+  Atomic.set enabled_flag true
+
+let disable () = Atomic.set enabled_flag false
+
+let record ev =
+  if Atomic.get enabled_flag then begin
+    let s = stream () in
+    let seq = s.next_seq in
+    s.next_seq <- seq + 1;
+    s.items <- (seq, ev) :: s.items
+  end
+
+let events () =
+  let streams = Mutex.protect registry_lock (fun () -> !registry) in
+  List.concat_map
+    (fun s -> List.map (fun (seq, ev) -> (s.tag, seq, ev)) s.items)
+    streams
+  |> List.sort (fun (d1, s1, _) (d2, s2, _) ->
+         match compare d1 d2 with 0 -> compare s1 s2 | c -> c)
+  |> List.map (fun (_, _, ev) -> ev)
+
+let default_label v = "n" ^ string_of_int v
+
+let pp_reason ?(label = default_label) ppf = function
+  | Comm_bound { pred; hops; volume } ->
+      Format.fprintf ppf "comm-bound by %s (%d hop%s x volume %d)"
+        (label pred) hops
+        (if hops = 1 then "" else "s")
+        volume
+  | Occupied { holder } -> Format.fprintf ppf "occupied by %s" (label holder)
+  | Mobility { winner } ->
+      Format.fprintf ppf "lost priority tie-break to %s" (label winner)
+
+let pp_binding ?(label = default_label) ppf = function
+  | Rows { last } -> Format.fprintf ppf "last occupied row %d" last
+  | Delayed_edge { src; dst; delay; psl } ->
+      Format.fprintf ppf "edge %s->%s (delay %d) psl %d" (label src)
+        (label dst) delay psl
+
+let pp_event ?(label = default_label) ppf = function
+  | Candidate { node; cs; pe; reason } ->
+      Format.fprintf ppf "candidate %s cs %d pe%d: %a" (label node) cs
+        (pe + 1)
+        (pp_reason ~label) reason
+  | Placed { node; cs; pe; pf; mobility; static_level; arrival } ->
+      Format.fprintf ppf
+        "placed %s cs %d pe%d (pf %d, mobility %d, level %d, data until %d)"
+        (label node) cs (pe + 1) pf mobility static_level arrival
+  | Rotated { nodes } ->
+      Format.fprintf ppf "rotated {%s}"
+        (String.concat " " (List.map label nodes))
+  | Pass { pass; length; outcome; binding } ->
+      Format.fprintf ppf "pass %d -> length %d (%s), bound by %a" pass length
+        outcome
+        (pp_binding ~label) binding
+  | Refine_move { node; cs; pe; accepted } ->
+      Format.fprintf ppf "refine %s -> cs %d pe%d: %s" (label node) cs (pe + 1)
+        (if accepted then "accepted" else "rejected")

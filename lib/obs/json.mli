@@ -1,0 +1,33 @@
+(** A minimal JSON reader for the observability tooling.
+
+    Just enough to load what this repository itself emits — schedule
+    exports ([ccsched export -f json]), Chrome trace profiles,
+    [BENCH_sched.json] and [BENCH_history.jsonl] records — without
+    adding a dependency.  Numbers are parsed as floats (every emitter
+    here stays within double precision); strings support the standard
+    escapes with BMP [\u] sequences decoded to UTF-8. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON value spanning the whole input (surrounding
+    whitespace allowed).  Errors carry a character offset. *)
+
+(** {2 Accessors}
+
+    All total: wrong shapes yield [None]. *)
+
+val member : string -> t -> t option
+(** First binding of the key in an object. *)
+
+val to_num : t -> float option
+val to_int : t -> int option
+val to_str : t -> string option
+val to_list : t -> t list option
+val to_obj : t -> (string * t) list option

@@ -32,12 +32,15 @@ let next_tag = Atomic.make 0
 let registry_lock = Mutex.create ()
 let registry : stream list ref = ref []
 
+external monotonic_ns : unit -> int64 = "obs_clock_monotonic_ns"
+
 (* Clock origin, written by [enable] before the flag flips; probes only
    read it while enabled, so the plain ref never yields a torn value a
-   recording could observe. *)
-let t0 = ref 0.
+   recording could observe.  CLOCK_MONOTONIC (not gettimeofday): span
+   durations must stay non-negative across wall-clock adjustments. *)
+let t0 = ref 0
 
-let now_ns () = int_of_float ((Unix.gettimeofday () -. !t0) *. 1e9)
+let now_ns () = Int64.to_int (monotonic_ns ()) - !t0
 
 let stream_key : stream Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
@@ -69,7 +72,7 @@ let reset () =
 
 let enable () =
   reset ();
-  t0 := Unix.gettimeofday ();
+  t0 := Int64.to_int (monotonic_ns ());
   Atomic.set enabled_flag true
 
 let disable () = Atomic.set enabled_flag false

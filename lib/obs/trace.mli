@@ -31,6 +31,13 @@ type span = {
   seq : int;  (** per-domain begin-order sequence number *)
 }
 
+val now_ns : unit -> int
+(** Nanoseconds on the process-wide monotonic clock, relative to the
+    origin set by the last {!enable} (boot-relative before the first).
+    Backed by [CLOCK_MONOTONIC], never by the wall clock: within one
+    collection successive reads are non-decreasing even across NTP slews
+    or manual clock adjustments, so span durations cannot go negative. *)
+
 val enabled : unit -> bool
 (** Whether spans are currently being recorded. *)
 

@@ -10,11 +10,15 @@ module Counters = Obs.Counters
 module Schedule = Cyclo.Schedule
 module Compaction = Cyclo.Compaction
 
+module Journal = Obs.Journal
+
 let quiet () =
   Trace.disable ();
   Counters.disable ();
+  Journal.disable ();
   Trace.reset ();
-  Counters.reset ()
+  Counters.reset ();
+  Journal.reset ()
 
 (* ------------------------------------------------------------------ *)
 (* Fast path                                                            *)
@@ -78,6 +82,136 @@ let test_enable_drops_previous () =
     "only the new collection remains" [ (0, "new") ]
     (shape (Trace.spans ()));
   quiet ()
+
+(* ------------------------------------------------------------------ *)
+(* Monotonic clock                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* now_ns is CLOCK_MONOTONIC-backed: unlike the wall clock it can never
+   jump backwards under NTP adjustment, so consecutive samples are
+   non-decreasing — the property the old gettimeofday implementation
+   could not offer. *)
+let test_monotonic_timestamps () =
+  quiet ();
+  let samples = Array.init 10_000 (fun _ -> Trace.now_ns ()) in
+  let ok = ref true in
+  for i = 1 to Array.length samples - 1 do
+    if samples.(i) < samples.(i - 1) then ok := false
+  done;
+  Alcotest.(check bool) "timestamps never decrease" true !ok;
+  (* the clock actually advances across real work *)
+  let t0 = Trace.now_ns () in
+  ignore (Sys.opaque_identity (List.init 100_000 Fun.id));
+  Alcotest.(check bool) "clock advances across work" true (Trace.now_ns () > t0);
+  (* enable re-bases the origin: spans that follow start near zero and
+     stay non-negative *)
+  Trace.enable ();
+  Trace.with_span "tick" (fun () -> ());
+  Trace.disable ();
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "span timestamps non-negative" true
+        (s.Trace.start_ns >= 0 && s.Trace.dur_ns >= 0))
+    (Trace.spans ());
+  quiet ()
+
+(* ------------------------------------------------------------------ *)
+(* Journal                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_journal_disabled_is_noop () =
+  quiet ();
+  Journal.record (Journal.Rotated { nodes = [ 1; 2 ] });
+  Alcotest.(check int) "disabled record is dropped" 0
+    (List.length (Journal.events ()))
+
+let test_journal_basics () =
+  Journal.enable ();
+  Journal.record
+    (Journal.Candidate
+       {
+         node = 3;
+         cs = 2;
+         pe = 1;
+         reason = Journal.Comm_bound { pred = 0; hops = 1; volume = 2 };
+       });
+  Journal.record
+    (Journal.Placed
+       { node = 3; cs = 4; pe = 4; pf = -1; mobility = 1; static_level = 9;
+         arrival = 3 });
+  Journal.disable ();
+  Journal.record (Journal.Rotated { nodes = [ 0 ] });
+  (* dropped: disabled *)
+  let events = Journal.events () in
+  Alcotest.(check int) "two events, recording order" 2 (List.length events);
+  (match events with
+  | [
+   Journal.Candidate
+     { node = 3; cs = 2; reason = Journal.Comm_bound { hops = 1; volume = 2; _ }; _ };
+   Journal.Placed { node = 3; cs = 4; _ };
+  ] ->
+      ()
+  | _ -> Alcotest.fail "unexpected journal contents");
+  let mem needle hay =
+    let ln = String.length needle and n = String.length hay in
+    let rec go i = i + ln <= n && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  let rendered =
+    String.concat "\n"
+      (List.map (Fmt.str "%a" (Journal.pp_event ?label:None)) events)
+  in
+  Alcotest.(check bool) "pp mentions the comm-bound arithmetic" true
+    (mem "1 hop x volume 2" rendered);
+  let named =
+    Fmt.str "%a"
+      (Journal.pp_event ~label:(fun v -> String.make 1 (Char.chr (65 + v))))
+      (List.hd events)
+  in
+  Alcotest.(check bool) "labeller renders node names" true
+    (mem "comm-bound by A" named);
+  Journal.enable ();
+  Alcotest.(check int) "enable drops the previous collection" 0
+    (List.length (Journal.events ()));
+  quiet ()
+
+(* ------------------------------------------------------------------ *)
+(* Obs.Json reader                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_json_reader () =
+  let open Obs.Json in
+  (match parse {|  {"a": [1, 2.5, "x\nA", true, null], "b": {"c": -3}} |} with
+  | Error e -> Alcotest.fail e
+  | Ok v ->
+      Alcotest.(check (option int))
+        "nested int" (Some (-3))
+        (Option.bind (member "b" v) (fun b -> Option.bind (member "c" b) to_int));
+      (match Option.bind (member "a" v) to_list with
+      | Some [ one; half; Str s; Bool true; Null ] ->
+          Alcotest.(check (option int)) "int element" (Some 1) (to_int one);
+          Alcotest.(check (option (float 1e-9)))
+            "float element" (Some 2.5) (to_num half);
+          Alcotest.(check string) "escapes decoded" "x\nA" s;
+          Alcotest.(check (option int)) "2.5 is not an int" None (to_int half)
+      | _ -> Alcotest.fail "array shape"));
+  List.iter
+    (fun bad ->
+      match parse bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted malformed input %S" bad)
+    [ "[1, 2"; "{} trailing"; "{\"a\" 1}"; "nul"; "\"open"; "" ];
+  (* everything sched_bench writes to the history parses back *)
+  (match
+     parse
+       {|{"schema":"ccsched-bench-history/1","unix_time":1,"host":"h","quick":false,"benchmarks":[{"name":"x","ns_per_run":1.5}],"schedules":[]}|}
+   with
+  | Ok v ->
+      Alcotest.(check (option string))
+        "schema readable"
+        (Some "ccsched-bench-history/1")
+        (Option.bind (member "schema" v) to_str)
+  | Error e -> Alcotest.fail e)
 
 (* ------------------------------------------------------------------ *)
 (* Counters                                                             *)
@@ -336,6 +470,20 @@ let () =
           Alcotest.test_case "enable starts fresh" `Quick
             test_enable_drops_previous;
         ] );
+      ( "clock",
+        [
+          Alcotest.test_case "monotonic non-decreasing timestamps" `Quick
+            test_monotonic_timestamps;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick
+            test_journal_disabled_is_noop;
+          Alcotest.test_case "record / events / re-enable" `Quick
+            test_journal_basics;
+        ] );
+      ( "json",
+        [ Alcotest.test_case "reader accepts and rejects" `Quick test_json_reader ] );
       ( "counters",
         [ Alcotest.test_case "registry semantics" `Quick test_counters ] );
       ( "parallel",
