@@ -139,7 +139,24 @@ let tests () =
           (topologies ()))
       (workloads ())
   in
-  startup_pair @ (one_pass :: drives)
+  (* Flight-recorder overhead: the same contended execution with and
+     without an event recorder attached.  The recorder is strictly
+     observational, so the ratio is pure bookkeeping cost. *)
+  let simulate_pair =
+    let sched = (Compaction.run_on ~validate:false elliptic mesh16).Compaction.best in
+    let run ?recorder () =
+      ignore
+        (Machine.Simulator.execute ~policy:Machine.Simulator.Fifo_links
+           ?recorder sched mesh16 ~iterations:50)
+    in
+    [
+      Test.make ~name:"simulate-plain-elliptic-mesh4x4"
+        (Staged.stage (fun () -> run ()));
+      Test.make ~name:"simulate-recorded-elliptic-mesh4x4"
+        (Staged.stage (fun () -> run ~recorder:(Machine.Events.recorder ()) ()));
+    ]
+  in
+  startup_pair @ (one_pass :: drives) @ simulate_pair
 
 let measure ~quota tests =
   let open Bechamel in
@@ -262,6 +279,14 @@ let emit_json path rows =
     | Some naive, Some indexed when indexed > 0. -> Some (naive /. indexed)
     | _ -> None
   in
+  let recorder_overhead =
+    match
+      ( find "simulate-recorded-elliptic-mesh4x4",
+        find "simulate-plain-elliptic-mesh4x4" )
+    with
+    | Some recorded, Some plain when plain > 0. -> Some (recorded /. plain)
+    | _ -> None
+  in
   let oc = open_out path in
   output_string oc "{\n  \"benchmarks\": [\n";
   List.iteri
@@ -274,6 +299,11 @@ let emit_json path rows =
   (match speedup with
   | Some r ->
       Printf.fprintf oc ",\n  \"startup_speedup_elliptic_mesh4x4\": %.2f" r
+  | None -> ());
+  (match recorder_overhead with
+  | Some r ->
+      Printf.fprintf oc ",\n  \"sim_recorder_overhead_elliptic_mesh4x4\": %.2f"
+        r
   | None -> ());
   let phases, counters = phase_profile () in
   output_string oc ",\n  \"phases_elliptic_mesh4x4\": [\n";
@@ -295,6 +325,9 @@ let emit_json path rows =
   close_out oc;
   (match speedup with
   | Some r -> Fmt.pr "startup speedup (naive / indexed): %.2fx@." r
+  | None -> ());
+  (match recorder_overhead with
+  | Some r -> Fmt.pr "flight-recorder overhead (recorded / plain): %.2fx@." r
   | None -> ());
   Fmt.pr "wrote %s@." path
 

@@ -148,19 +148,28 @@ let metrics_flag =
    registry on stdout.  With neither flag every probe stays a no-op. *)
 let with_observability ~profile ~metrics run =
   if profile <> None then Obs.Trace.enable ();
-  if profile <> None || metrics then Obs.Counters.enable ();
+  if profile <> None || metrics then begin
+    Obs.Counters.enable ();
+    Obs.Histogram.enable ()
+  end;
   let result = run () in
   Obs.Trace.disable ();
   Obs.Counters.disable ();
+  Obs.Histogram.disable ();
   (match profile with
   | Some path ->
       let json =
-        Obs.Trace.to_chrome_json ~counters:(Obs.Counters.dump ()) ()
+        Obs.Trace.to_chrome_json ~counters:(Obs.Counters.dump ())
+          ~histograms:(Obs.Histogram.dump ()) ()
       in
       Cyclo.Export.write_file ~path json;
       Fmt.pr "wrote profile %s@." path
   | None -> ());
-  if metrics then Fmt.pr "@.metrics:@.%a" Obs.Counters.pp_summary ();
+  if metrics then begin
+    Fmt.pr "@.metrics:@.%a" Obs.Counters.pp_summary ();
+    if List.exists (fun (_, b) -> b <> []) (Obs.Histogram.dump ()) then
+      Fmt.pr "@.histograms:@.%a" Obs.Histogram.pp_summary ()
+  end;
   result
 
 let prepared spec slowdown =
@@ -361,8 +370,36 @@ let simulate_cmd =
              ~doc:"Wormhole transport (hops + volume - 1) for both the \
                    schedule's cost model and the execution.")
   in
+  let events_arg =
+    Arg.(value & opt (some string) None
+         & info [ "events" ] ~docv:"FILE.jsonl"
+             ~doc:"Write the typed execution event stream (instance \
+                   starts/finishes, message sends, link hops, deliveries, \
+                   stalls) as JSONL, schema ccsched-sim-events/1.")
+  in
+  let timeline_arg =
+    Arg.(value & opt (some string) None
+         & info [ "timeline" ] ~docv:"FILE.svg"
+             ~doc:"Write the executed-run Gantt chart: per-PE lanes, \
+                   message arrows, stall markers.")
+  in
+  let chrome_arg =
+    Arg.(value & opt (some string) None
+         & info [ "chrome-trace" ] ~docv:"FILE.json"
+             ~doc:"Write the run as Chrome trace_event JSON on the \
+                   simulator's virtual clock (open in chrome://tracing or \
+                   Perfetto).")
+  in
+  let audit_flag =
+    Arg.(value & flag
+         & info [ "audit" ]
+             ~doc:"Check every measured instance start against the static \
+                   promise CB + k*L and attribute each slip to its cause \
+                   chain (blocking message, congested link, late upstream \
+                   instance), with per-link occupancy.")
+  in
   let run spec arch mode passes slowdown iterations contention wormhole
-      profile metrics =
+      events_path timeline_path chrome_path audit profile metrics =
     let g = prepared spec slowdown in
     let topo = or_die (parse_arch arch) in
     with_observability ~profile ~metrics @@ fun () ->
@@ -380,14 +417,49 @@ let simulate_cmd =
       if wormhole then Machine.Simulator.Wormhole
       else Machine.Simulator.Store_and_forward
     in
+    let recorder =
+      if
+        events_path <> None || timeline_path <> None || chrome_path <> None
+        || audit
+      then Some (Machine.Events.recorder ())
+      else None
+    in
     let stats =
-      Machine.Simulator.execute ~policy ~transport best topo ~iterations
+      Machine.Simulator.execute ~policy ~transport ?recorder best topo
+        ~iterations
     in
     Fmt.pr "schedule: %a@." Cyclo.Schedule.pp_compact best;
     Fmt.pr "execution: %a@." Machine.Simulator.pp_stats stats;
     Fmt.pr "static bound: %d, slowdown: %.3f@."
       (Machine.Simulator.static_bound best ~iterations)
-      (Machine.Simulator.slowdown stats best)
+      (Machine.Simulator.slowdown stats best);
+    match recorder with
+    | None -> ()
+    | Some rec_ ->
+        let evs = Machine.Events.events rec_ in
+        let label v = Dataflow.Csdfg.label (Cyclo.Schedule.dfg best) v in
+        let np = Topology.n_processors topo in
+        (match events_path with
+        | Some path ->
+            Cyclo.Export.write_file ~path (Machine.Events.to_jsonl evs);
+            Fmt.pr "wrote %d events to %s@." (Machine.Events.count rec_) path
+        | None -> ());
+        (match timeline_path with
+        | Some path ->
+            Cyclo.Export.write_file ~path
+              (Machine.Timeline.to_svg ~label ~np evs);
+            Fmt.pr "wrote timeline %s@." path
+        | None -> ());
+        (match chrome_path with
+        | Some path ->
+            Cyclo.Export.write_file ~path
+              (Machine.Timeline.to_chrome_json ~label ~np evs);
+            Fmt.pr "wrote chrome trace %s@." path
+        | None -> ());
+        if audit then
+          Fmt.pr "@.audit:@.%a"
+            (Machine.Audit.pp ~label)
+            (Machine.Audit.audit best evs)
   in
   Cmd.v
     (Cmd.info "simulate"
@@ -395,6 +467,7 @@ let simulate_cmd =
              simulator and compare against the analytical model.")
     Term.(const run $ graph_arg $ arch_arg $ mode_arg $ passes_arg
           $ slowdown_arg $ iterations_arg $ contention_flag $ wormhole_flag
+          $ events_arg $ timeline_arg $ chrome_arg $ audit_flag
           $ profile_arg $ metrics_flag)
 
 let pipeline_cmd =
@@ -667,7 +740,14 @@ let report_cmd =
              ~doc:"Analyse the start-up schedule instead of the compacted \
                    one.")
   in
-  let run spec arch mode passes slowdown speeds k svg startup_only =
+  let measure_arg =
+    Arg.(value & opt (some int) None
+         & info [ "measure" ] ~docv:"N"
+             ~doc:"Also execute the schedule for $(docv) iterations on the \
+                   event-driven simulator (FIFO links, store-and-forward) \
+                   and add measured-vs-static columns.")
+  in
+  let run spec arch mode passes slowdown speeds k svg startup_only measure =
     let g = prepared spec slowdown in
     let topo = or_die (parse_arch arch) in
     let speeds = or_die (parse_speeds topo speeds) in
@@ -679,8 +759,29 @@ let report_cmd =
       if startup_only then r.Cyclo.Compaction.startup
       else r.Cyclo.Compaction.best
     in
+    let measured =
+      Option.map
+        (fun iterations ->
+          if iterations < 1 then or_die (Error "--measure needs N >= 1");
+          let s =
+            Machine.Simulator.execute ~policy:Machine.Simulator.Fifo_links
+              sched topo ~iterations
+          in
+          {
+            Cyclo.Analysis.iterations;
+            policy = "fifo-links";
+            makespan = s.Machine.Simulator.makespan;
+            period = s.Machine.Simulator.average_period;
+            slowdown = Machine.Simulator.slowdown s sched;
+            messages = s.Machine.Simulator.messages;
+            hops = s.Machine.Simulator.message_hops;
+            backlog = s.Machine.Simulator.max_link_backlog;
+            per_pe_util = s.Machine.Simulator.per_pe_utilization;
+          })
+        measure
+    in
     Fmt.pr "%a@." Cyclo.Analysis.pp_report
-      (Cyclo.Analysis.report ~topo ~journal ~k sched);
+      (Cyclo.Analysis.report ~topo ~journal ?measured ~k sched);
     match svg with
     | Some path ->
         Cyclo.Export.write_file ~path (Cyclo.Analysis.traffic_svg sched);
@@ -693,7 +794,8 @@ let report_cmd =
              matrix and per-link load, iteration-bound gap attribution, and \
              the top blocking edges and hardest placements.")
     Term.(const run $ graph_arg $ arch_arg $ mode_arg $ passes_arg
-          $ slowdown_arg $ speeds_arg $ topk_arg $ svg_arg $ startup_flag)
+          $ slowdown_arg $ speeds_arg $ topk_arg $ svg_arg $ startup_flag
+          $ measure_arg)
 
 let diff_cmd =
   let pos_file p docv =

@@ -218,6 +218,18 @@ let blocking_nodes_of_journal journal ~k ~n =
          | c -> c)
   |> take k
 
+type measured = {
+  iterations : int;
+  policy : string;
+  makespan : int;
+  period : float;
+  slowdown : float;
+  messages : int;
+  hops : int;
+  backlog : int;
+  per_pe_util : float array;
+}
+
 type report = {
   sched : Schedule.t;
   length : int;
@@ -233,9 +245,10 @@ type report = {
   links : ((int * int) * int) list option;
   blocking_edges : (Csdfg.attr G.edge * int) list;
   blocking_nodes : blocked list;
+  measured : measured option;
 }
 
-let report ?topo ?(journal = []) ?(k = 5) sched =
+let report ?topo ?(journal = []) ?measured ?(k = 5) sched =
   let dfg = Schedule.dfg sched in
   let length = Schedule.length sched in
   let bound = Dataflow.Iteration_bound.exact_ceil dfg in
@@ -267,6 +280,7 @@ let report ?topo ?(journal = []) ?(k = 5) sched =
     links = Option.map (link_traffic sched) topo;
     blocking_edges = blocking_edges;
     blocking_nodes = blocking_nodes_of_journal journal ~k ~n:(Csdfg.n_nodes dfg);
+    measured;
   }
 
 let pp_report ppf r =
@@ -293,10 +307,27 @@ let pp_report ppf r =
     (if r.comm_cost = 1 then "" else "s")
     r.cross_edges
     (if r.cross_edges = 1 then "" else "s");
-  Fmt.pf ppf "per-PE occupancy (steps 1..%d):@," r.length;
+  (match r.measured with
+  | Some m ->
+      Fmt.pf ppf
+        "measured execution (%s, %d iterations): period %.2f vs static %d \
+         (slowdown %.3f), makespan %d, %d msgs / %d hops, peak link backlog \
+         %d@,"
+        m.policy m.iterations m.period r.length m.slowdown m.makespan
+        m.messages m.hops m.backlog
+  | None -> ());
+  Fmt.pf ppf "per-PE occupancy (steps 1..%d)%s:@," r.length
+    (match r.measured with Some _ -> " | measured utilization" | None -> "");
   List.iter
     (fun u ->
-      Fmt.pf ppf "  pe%-2d |%s| %d/%d@," (u.pe + 1) u.timeline u.busy r.length)
+      let measured_col =
+        match r.measured with
+        | Some m when u.pe < Array.length m.per_pe_util ->
+            Fmt.str "  measured %.0f%%" (100. *. m.per_pe_util.(u.pe))
+        | _ -> ""
+      in
+      Fmt.pf ppf "  pe%-2d |%s| %d/%d%s@," (u.pe + 1) u.timeline u.busy
+        r.length measured_col)
     r.per_pe;
   Fmt.pf ppf "traffic (volume/iteration, source row -> destination column):@,";
   Fmt.pf ppf "%a@," pp_traffic r.traffic;

@@ -61,6 +61,23 @@ type blocked = {
   tiebreak : int;
 }
 
+type measured = {
+  iterations : int;  (** loop iterations executed *)
+  policy : string;  (** simulator policy label, e.g. ["fifo-links"] *)
+  makespan : int;
+  period : float;  (** measured control steps per iteration *)
+  slowdown : float;  (** [period / static length] *)
+  messages : int;
+  hops : int;
+  backlog : int;  (** peak messages queued on one link *)
+  per_pe_util : float array;  (** measured busy / makespan per processor *)
+}
+(** Measured-execution figures for the same schedule, as plain data so
+    this layer stays independent of the simulator: the caller (e.g.
+    [ccsched report --measure]) runs [Machine.Simulator.execute] and
+    fills this in; {!pp_report} then prints measured-vs-static columns
+    next to the static analytics. *)
+
 type report = {
   sched : Schedule.t;
   length : int;
@@ -81,17 +98,21 @@ type report = {
   blocking_nodes : blocked list;
       (** top-k hardest-to-place nodes by journal rejection count;
           empty without journal events *)
+  measured : measured option;
+      (** measured-execution figures; [None] unless the caller ran the
+          simulator *)
 }
 
 val report :
   ?topo:Topology.t ->
   ?journal:Obs.Journal.event list ->
+  ?measured:measured ->
   ?k:int ->
   Schedule.t ->
   report
 (** Compute every analytic over one schedule.  [topo] enables per-link
-    traffic, [journal] enables the blocking-node tally, [k] (default 5)
-    caps the top-k lists. *)
+    traffic, [journal] enables the blocking-node tally, [measured] adds
+    measured-vs-static columns, [k] (default 5) caps the top-k lists. *)
 
 val pp_report : Format.formatter -> report -> unit
 

@@ -1,0 +1,227 @@
+module Schedule = Cyclo.Schedule
+
+type step =
+  | Waited_input of { src : int; iter : int; msg : int }
+  | Link_contention of { link : int * int; msg : int; wait : int }
+  | Upstream_slip of { node : int; iter : int; slip : int }
+  | Processor_busy
+
+type slip = {
+  node : int;
+  iter : int;
+  pe : int;
+  static_start : int;
+  actual_start : int;
+  slip : int;
+  chain : step list;
+}
+
+type link_use = {
+  link : int * int;
+  busy : int;
+  hops : int;
+  occupancy : float;
+}
+
+type t = {
+  iterations : int;
+  horizon : int;
+  instances : int;
+  on_time : int;
+  slipped : int;
+  total_slip : int;
+  max_slip : int;
+  worst : slip list;
+  links : link_use list;
+  conforms : bool;
+}
+
+let max_chain_depth = 8
+
+let audit ?(k = 5) sched events =
+  if not (Schedule.assigned_all sched) then
+    invalid_arg "Audit.audit: schedule has unassigned nodes";
+  let len = Schedule.length sched in
+  let static_start v i = (i * len) + Schedule.cb sched v - 1 in
+  (* index the stream *)
+  let starts = Hashtbl.create 256 in (* (node, iter) -> (t, pe) *)
+  let inst_stall = Hashtbl.create 64 in (* (node, iter) -> cause *)
+  let link_waits = Hashtbl.create 64 in (* msg -> (link, wait) list *)
+  let send_iter = Hashtbl.create 64 in (* msg -> src_iter *)
+  let link_busy = Hashtbl.create 16 in (* link -> (busy, hops) *)
+  let horizon = ref 0 in
+  let iters = Hashtbl.create 16 in
+  List.iter
+    (fun ev ->
+      horizon := max !horizon (Events.time ev);
+      match ev with
+      | Events.Instance_start { t; node; iter; pe } ->
+          Hashtbl.replace iters iter ();
+          Hashtbl.replace starts (node, iter) (t, pe)
+      | Events.Stall { node; iter; cause; wait; _ } -> (
+          match cause with
+          | Events.Link_busy { link; msg } ->
+              let prev =
+                Option.value ~default:[] (Hashtbl.find_opt link_waits msg)
+              in
+              Hashtbl.replace link_waits msg ((link, wait) :: prev)
+          | Events.Input_wait _ | Events.Pe_busy ->
+              Hashtbl.replace inst_stall (node, iter) cause)
+      | Events.Msg_send { msg; src_iter; _ } ->
+          Hashtbl.replace send_iter msg src_iter
+      | Events.Msg_hop { link; busy; _ } ->
+          let b, h =
+            Option.value ~default:(0, 0) (Hashtbl.find_opt link_busy link)
+          in
+          Hashtbl.replace link_busy link (b + busy, h + 1)
+      | Events.Instance_finish _ | Events.Msg_deliver _ -> ())
+    events;
+  let slip_of node iter =
+    match Hashtbl.find_opt starts (node, iter) with
+    | Some (t, _) -> t - static_start node iter
+    | None -> 0
+  in
+  (* Walk the proximate causes: blocking input -> link it queued on ->
+     the upstream instance's own lateness, recursively, bounded. *)
+  let rec chain_of node iter depth =
+    if depth >= max_chain_depth then []
+    else
+      match Hashtbl.find_opt inst_stall (node, iter) with
+      | None -> []
+      | Some Events.Pe_busy -> [ Processor_busy ]
+      | Some (Events.Link_busy _) -> [] (* never stored for instances *)
+      | Some (Events.Input_wait { src; msg; _ }) ->
+          let src_iter =
+            if msg >= 0 then
+              Option.value ~default:iter (Hashtbl.find_opt send_iter msg)
+            else iter
+          in
+          let waits =
+            if msg < 0 then []
+            else
+              List.rev_map
+                (fun (link, wait) -> Link_contention { link; msg; wait })
+                (Option.value ~default:[] (Hashtbl.find_opt link_waits msg))
+          in
+          let upstream =
+            let s = slip_of src src_iter in
+            if s > 0 && (src, src_iter) <> (node, iter) then
+              Upstream_slip { node = src; iter = src_iter; slip = s }
+              :: chain_of src src_iter (depth + 1)
+            else []
+          in
+          (Waited_input { src; iter = src_iter; msg } :: waits) @ upstream
+  in
+  let slips = ref [] in
+  let instances = ref 0 in
+  let on_time = ref 0 in
+  let total_slip = ref 0 in
+  let max_slip = ref 0 in
+  Hashtbl.iter
+    (fun (node, iter) (t, pe) ->
+      incr instances;
+      let s = t - static_start node iter in
+      if s <= 0 then incr on_time
+      else begin
+        total_slip := !total_slip + s;
+        if s > !max_slip then max_slip := s;
+        slips :=
+          {
+            node;
+            iter;
+            pe;
+            static_start = static_start node iter;
+            actual_start = t;
+            slip = s;
+            chain = chain_of node iter 0;
+          }
+          :: !slips
+      end)
+    starts;
+  let worst =
+    List.sort
+      (fun a b ->
+        match compare b.slip a.slip with
+        | 0 -> compare (a.node, a.iter) (b.node, b.iter)
+        | c -> c)
+      !slips
+  in
+  let worst = List.filteri (fun i _ -> i < k) worst in
+  let links =
+    Hashtbl.fold
+      (fun link (busy, hops) acc ->
+        {
+          link;
+          busy;
+          hops;
+          occupancy =
+            (if !horizon = 0 then 0.
+             else float_of_int busy /. float_of_int !horizon);
+        }
+        :: acc)
+      link_busy []
+    |> List.sort (fun a b ->
+           match compare b.busy a.busy with
+           | 0 -> compare a.link b.link
+           | c -> c)
+  in
+  {
+    iterations = Hashtbl.length iters;
+    horizon = !horizon;
+    instances = !instances;
+    on_time = !on_time;
+    slipped = !instances - !on_time;
+    total_slip = !total_slip;
+    max_slip = !max_slip;
+    worst;
+    links;
+    conforms = !instances = !on_time;
+  }
+
+let default_label v = "n" ^ string_of_int v
+
+let pp_step label ppf = function
+  | Waited_input { src; iter; msg } ->
+      if msg < 0 then
+        Format.fprintf ppf "waited on %s#%d (same pe)" (label src) iter
+      else Format.fprintf ppf "waited on %s#%d via m%d" (label src) iter msg
+  | Link_contention { link = a, b; msg; wait } ->
+      Format.fprintf ppf "m%d held %d on link pe%d->pe%d" msg wait (a + 1)
+        (b + 1)
+  | Upstream_slip { node; iter; slip } ->
+      Format.fprintf ppf "upstream %s#%d itself slipped %d" (label node) iter
+        slip
+  | Processor_busy -> Format.fprintf ppf "processor busy"
+
+let pp ?(label = default_label) ppf a =
+  Format.fprintf ppf
+    "conformance: %d/%d instances on time over %d iterations (horizon %d)@."
+    a.on_time a.instances a.iterations a.horizon;
+  if a.conforms then
+    Format.fprintf ppf "execution matches the static promise CB + k*L@."
+  else begin
+    Format.fprintf ppf
+      "%d slipped, total slip %d, max slip %d@." a.slipped a.total_slip
+      a.max_slip;
+    List.iter
+      (fun s ->
+        Format.fprintf ppf "  %s#%d on pe%d: start %d vs promised %d (slip %d)@."
+          (label s.node) s.iter (s.pe + 1) s.actual_start s.static_start
+          s.slip;
+        List.iter
+          (fun st -> Format.fprintf ppf "    <- %a@." (pp_step label) st)
+          s.chain)
+      a.worst
+  end;
+  match a.links with
+  | [] -> ()
+  | links ->
+      Format.fprintf ppf "link occupancy:@.";
+      List.iteri
+        (fun i (l : link_use) ->
+          if i < 8 then
+            Format.fprintf ppf
+              "  pe%d->pe%d: busy %d (%.0f%%), %d hops@."
+              (fst l.link + 1) (snd l.link + 1) l.busy (100. *. l.occupancy)
+              l.hops)
+        links

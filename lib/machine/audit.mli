@@ -1,0 +1,71 @@
+(** Static-vs-measured conformance audit.
+
+    The static schedule promises that iteration [k] of node [v] starts
+    at control step [CB(v) - 1 + k * L] (time 0 start).  This module
+    checks every {!Events.Instance_start} of a recorded run against
+    that promise and explains the misses: each slipped instance is
+    attributed to its proximate cause chain — the blocking input
+    message, the congested link it queued behind, and the upstream
+    instance that itself ran late — plus a per-link occupancy table
+    showing where the network time actually went.
+
+    Under {!Simulator.Contention_free} a legal schedule never slips
+    (the simulator's bound theorem); under {!Simulator.Fifo_links} any
+    measured slowdown above 1.0 shows up here as named links and
+    messages rather than a bare number. *)
+
+(** One hop in a cause chain, outermost first: why the instance (or the
+    message feeding it) was late. *)
+type step =
+  | Waited_input of { src : int; iter : int; msg : int }
+      (** the latest-arriving input came from iteration [iter] of node
+          [src]; [msg] is its message id, [-1] for a same-processor
+          dependence *)
+  | Link_contention of { link : int * int; msg : int; wait : int }
+      (** that message spent [wait] steps queued on (or waiting for)
+          the directed link [link] *)
+  | Upstream_slip of { node : int; iter : int; slip : int }
+      (** ... and its producer had itself started [slip] steps late
+          (the chain continues from there) *)
+  | Processor_busy  (** inputs were ready; the processor was not *)
+
+type slip = {
+  node : int;
+  iter : int;
+  pe : int;
+  static_start : int;
+  actual_start : int;
+  slip : int;  (** [actual - static], positive = late *)
+  chain : step list;  (** proximate causes, outermost first; bounded *)
+}
+
+type link_use = {
+  link : int * int;  (** directed physical link *)
+  busy : int;  (** total steps occupied by message traffic *)
+  hops : int;  (** traversals *)
+  occupancy : float;  (** [busy / measured makespan] *)
+}
+
+type t = {
+  iterations : int;  (** distinct iterations observed *)
+  horizon : int;  (** measured makespan (latest event time) *)
+  instances : int;  (** instance starts observed *)
+  on_time : int;  (** started at or before the static promise *)
+  slipped : int;  (** started late *)
+  total_slip : int;  (** summed positive slip *)
+  max_slip : int;
+  worst : slip list;  (** top-[k] late instances, worst first *)
+  links : link_use list;  (** every used link, busiest first *)
+  conforms : bool;  (** [slipped = 0] *)
+}
+
+val audit : ?k:int -> Cyclo.Schedule.t -> Events.event list -> t
+(** [audit sched events] checks a recorded run against [sched]'s static
+    promise.  [k] bounds [worst] (default 5).  The events must come
+    from a run of the same schedule — node ids and processor numbers
+    are taken at face value.
+    @raise Invalid_argument when the schedule is incomplete. *)
+
+val pp : ?label:(int -> string) -> Format.formatter -> t -> unit
+(** Human-readable report: conformance summary, the worst offenders
+    with their cause chains, and the busiest links. *)

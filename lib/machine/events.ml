@@ -1,0 +1,165 @@
+type stall_cause =
+  | Input_wait of { src : int; dst : int; msg : int }
+  | Link_busy of { link : int * int; msg : int }
+  | Pe_busy
+
+type event =
+  | Instance_start of { t : int; node : int; iter : int; pe : int }
+  | Instance_finish of { t : int; node : int; iter : int; pe : int }
+  | Msg_send of {
+      t : int;
+      msg : int;
+      src : int;
+      dst : int;
+      src_iter : int;
+      dst_iter : int;
+      from_pe : int;
+      to_pe : int;
+      volume : int;
+    }
+  | Msg_hop of { t : int; msg : int; link : int * int; busy : int }
+  | Msg_deliver of {
+      t : int;
+      msg : int;
+      node : int;
+      iter : int;
+      latency : int;
+    }
+  | Stall of {
+      t : int;
+      node : int;
+      iter : int;
+      pe : int;
+      wait : int;
+      cause : stall_cause;
+    }
+
+let time = function
+  | Instance_start { t; _ }
+  | Instance_finish { t; _ }
+  | Msg_send { t; _ }
+  | Msg_hop { t; _ }
+  | Msg_deliver { t; _ }
+  | Stall { t; _ } ->
+      t
+
+type recorder = { mutable items : event list; mutable n : int }
+
+let recorder () = { items = []; n = 0 }
+
+let record r ev =
+  r.items <- ev :: r.items;
+  r.n <- r.n + 1
+
+let count r = r.n
+let events r = List.rev r.items
+let by_time evs = List.stable_sort (fun a b -> compare (time a) (time b)) evs
+
+let deliveries evs =
+  List.length (List.filter (function Msg_deliver _ -> true | _ -> false) evs)
+
+let hops evs =
+  List.length (List.filter (function Msg_hop _ -> true | _ -> false) evs)
+
+let stalls evs =
+  List.length (List.filter (function Stall _ -> true | _ -> false) evs)
+
+(* ------------------------------------------------------------------ *)
+(* JSONL                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let add_line buf ev =
+  (match ev with
+  | Instance_start { t; node; iter; pe } ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|{"ev":"instance_start","t":%d,"node":%d,"iter":%d,"pe":%d}|} t
+           node iter pe)
+  | Instance_finish { t; node; iter; pe } ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|{"ev":"instance_finish","t":%d,"node":%d,"iter":%d,"pe":%d}|} t
+           node iter pe)
+  | Msg_send { t; msg; src; dst; src_iter; dst_iter; from_pe; to_pe; volume }
+    ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|{"ev":"msg_send","t":%d,"msg":%d,"src":%d,"dst":%d,"src_iter":%d,"dst_iter":%d,"from_pe":%d,"to_pe":%d,"volume":%d}|}
+           t msg src dst src_iter dst_iter from_pe to_pe volume)
+  | Msg_hop { t; msg; link = a, b; busy } ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|{"ev":"msg_hop","t":%d,"msg":%d,"a":%d,"b":%d,"busy":%d}|} t msg
+           a b busy)
+  | Msg_deliver { t; msg; node; iter; latency } ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|{"ev":"msg_deliver","t":%d,"msg":%d,"node":%d,"iter":%d,"latency":%d}|}
+           t msg node iter latency)
+  | Stall { t; node; iter; pe; wait; cause } ->
+      let cause_fields =
+        match cause with
+        | Input_wait { src; dst; msg } ->
+            Printf.sprintf {|"cause":"input_wait","src":%d,"dst":%d,"msg":%d|}
+              src dst msg
+        | Link_busy { link = a, b; msg } ->
+            Printf.sprintf {|"cause":"link_busy","a":%d,"b":%d,"msg":%d|} a b
+              msg
+        | Pe_busy -> {|"cause":"pe_busy"|}
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|{"ev":"stall","t":%d,"node":%d,"iter":%d,"pe":%d,"wait":%d,%s}|}
+           t node iter pe wait cause_fields));
+  Buffer.add_char buf '\n'
+
+let to_jsonl evs =
+  let evs = by_time evs in
+  let buf = Buffer.create (4096 + (64 * List.length evs)) in
+  Buffer.add_string buf
+    (Printf.sprintf
+       {|{"schema":"ccsched-sim-events/1","events":%d}|}
+       (List.length evs));
+  Buffer.add_char buf '\n';
+  List.iter (add_line buf) evs;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Pretty printing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let default_label v = "n" ^ string_of_int v
+
+let pp_event ?(label = default_label) ppf = function
+  | Instance_start { t; node; iter; pe } ->
+      Format.fprintf ppf "t=%d start %s#%d on pe%d" t (label node) iter (pe + 1)
+  | Instance_finish { t; node; iter; pe } ->
+      Format.fprintf ppf "t=%d finish %s#%d on pe%d" t (label node) iter
+        (pe + 1)
+  | Msg_send { t; msg; src; dst; src_iter; dst_iter; from_pe; to_pe; volume }
+    ->
+      Format.fprintf ppf "t=%d send m%d %s#%d -> %s#%d (pe%d -> pe%d, vol %d)"
+        t msg (label src) src_iter (label dst) dst_iter (from_pe + 1)
+        (to_pe + 1) volume
+  | Msg_hop { t; msg; link = a, b; busy } ->
+      Format.fprintf ppf "t=%d hop m%d over pe%d -> pe%d (busy %d)" t msg
+        (a + 1) (b + 1) busy
+  | Msg_deliver { t; msg; node; iter; latency } ->
+      Format.fprintf ppf "t=%d deliver m%d to %s#%d (latency %d)" t msg
+        (label node) iter latency
+  | Stall { t; node; iter; pe; wait; cause } -> (
+      match cause with
+      | Input_wait { src; msg; _ } ->
+          Format.fprintf ppf
+            "t=%d stall %s#%d on pe%d: waited on %s (%s), slip %d" t
+            (label node) iter (pe + 1) (label src)
+            (if msg < 0 then "local" else Printf.sprintf "m%d" msg)
+            wait
+      | Link_busy { link = a, b; msg } ->
+          Format.fprintf ppf
+            "t=%d stall m%d for %s#%d: link pe%d -> pe%d busy for %d" t msg
+            (label node) iter (a + 1) (b + 1) wait
+      | Pe_busy ->
+          Format.fprintf ppf
+            "t=%d stall %s#%d on pe%d: processor busy, slip %d" t (label node)
+            iter (pe + 1) wait)

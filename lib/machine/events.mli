@@ -1,0 +1,111 @@
+(** Typed execution events — the simulator's flight recorder.
+
+    {!Simulator.execute} optionally records everything that happens
+    during a run as a stream of typed events on the {e virtual} clock
+    (control steps, time 0 = the first step of iteration 0): instance
+    starts and finishes, every cross-processor message from send
+    through each link hop to delivery, and stalls — the moments where
+    execution fell behind the static promise and why.
+
+    Recording is strictly observational: a run with a recorder attached
+    produces the same {!Simulator.stats} as one without, event by
+    event (the test suite pins this).  The stream is what the derived
+    views consume — {!Timeline} renders it, {!Audit} checks it against
+    the static schedule — and what [ccsched simulate --events] writes
+    as JSONL. *)
+
+(** Why execution paused.  [wait] on the enclosing {!Stall} says for
+    how long; the cause says on what. *)
+type stall_cause =
+  | Input_wait of { src : int; dst : int; msg : int }
+      (** the instance waited on dataflow edge [src -> dst]; [msg] is
+          the blocking message's id, or [-1] for a same-processor
+          dependence *)
+  | Link_busy of { link : int * int; msg : int }
+      (** message [msg] queued behind (or, under wormhole, waited for)
+          the directed physical link [link] *)
+  | Pe_busy  (** inputs were ready but the processor was still running *)
+
+type event =
+  | Instance_start of { t : int; node : int; iter : int; pe : int }
+  | Instance_finish of { t : int; node : int; iter : int; pe : int }
+  | Msg_send of {
+      t : int;
+      msg : int;  (** dense id, 0-based in send order *)
+      src : int;  (** producer node *)
+      dst : int;  (** consumer node *)
+      src_iter : int;
+      dst_iter : int;  (** [src_iter + edge delay] *)
+      from_pe : int;
+      to_pe : int;
+      volume : int;
+    }
+  | Msg_hop of {
+      t : int;  (** when the hop completed *)
+      msg : int;
+      link : int * int;  (** directed physical link traversed *)
+      busy : int;
+          (** how long the message occupied the link: [latency * volume]
+              under store-and-forward, the whole reserved transfer
+              window under wormhole *)
+    }
+  | Msg_deliver of {
+      t : int;
+      msg : int;
+      node : int;  (** consumer node *)
+      iter : int;
+      latency : int;  (** [t - send time] *)
+    }
+  | Stall of {
+      t : int;
+      node : int;  (** the delayed consumer instance *)
+      iter : int;
+      pe : int;
+      wait : int;
+          (** for instance stalls ({!Input_wait} / {!Pe_busy}): the slip
+              vs the static promise [CB + k*L]; for {!Link_busy}: the
+              time spent waiting for the link *)
+      cause : stall_cause;
+    }
+
+val time : event -> int
+
+(** {2 Recording} *)
+
+type recorder
+(** A per-run append-only buffer.  Not thread-safe — one recorder per
+    {!Simulator.execute} call (the simulator is sequential). *)
+
+val recorder : unit -> recorder
+val record : recorder -> event -> unit
+val count : recorder -> int
+
+val events : recorder -> event list
+(** Everything recorded, in recording order.  Event times are
+    non-decreasing except for {!Instance_start}s, which the simulator
+    commits as soon as the start time is {e known} (possibly ahead of
+    the virtual clock); use {!by_time} for a chronological view. *)
+
+val by_time : event list -> event list
+(** Stable sort by {!time} — same-time events keep recording order. *)
+
+(** {2 Derived tallies} *)
+
+val deliveries : event list -> int
+val hops : event list -> int
+val stalls : event list -> int
+
+(** {2 Export} *)
+
+val to_jsonl : event list -> string
+(** One JSON object per line.  The first line is a header
+    [{"schema": "ccsched-sim-events/1", "events": N}]; every following
+    line carries an ["ev"] discriminator
+    ([instance_start], [instance_finish], [msg_send], [msg_hop],
+    [msg_deliver], [stall]) plus the event's fields under the names
+    used above (links and edges flattened to ["a"]/["b"] and
+    ["src"]/["dst"]).  Events are emitted in {!by_time} order. *)
+
+val pp_event :
+  ?label:(int -> string) -> Format.formatter -> event -> unit
+(** One-line rendering; [label] maps node ids to names. *)

@@ -15,14 +15,19 @@ type stats = {
   message_hops : int;
   max_link_backlog : int;
   busy : int array;
+  per_pe_utilization : float array;
   utilization : float;
 }
 
 (* A message in flight: the data of one cross-processor edge delivery,
    walking its shortest route one store-and-forward hop at a time. *)
 type message = {
+  id : int;  (* dense send-order id, 0-based *)
   volume : int;
+  src_node : int;
   target : int;  (* destination instance index *)
+  sent_at : int;
+  mutable queued_at : int;  (* when it last joined a link queue *)
   mutable remaining : int list;  (* nodes still to visit (head = current) *)
 }
 
@@ -48,9 +53,14 @@ let static_bound sched ~iterations =
 let c_messages = Obs.Counters.counter "simulator.messages"
 let c_hops = Obs.Counters.counter "simulator.message_hops"
 let c_events = Obs.Counters.counter "simulator.events"
+let c_stalls = Obs.Counters.counter "simulator.stalls"
+let g_backlog = Obs.Counters.counter "simulator.max_link_backlog"
+let h_latency = Obs.Histogram.histogram "simulator.msg_latency"
+let h_backlog = Obs.Histogram.histogram "simulator.link_backlog"
+let h_slip = Obs.Histogram.histogram "simulator.instance_slip"
 
 let execute ?(policy = Contention_free) ?(transport = Store_and_forward)
-    sched topo ~iterations =
+    ?recorder sched topo ~iterations =
   if iterations < 1 then invalid_arg "Simulator.execute: iterations < 1";
   Obs.Trace.with_span "simulator.execute"
     ~args:
@@ -78,6 +88,17 @@ let execute ?(policy = Contention_free) ?(transport = Store_and_forward)
   let node_of inst = inst mod n in
   let iter_of inst = inst / n in
 
+  let emit ev =
+    match recorder with None -> () | Some r -> Events.record r ev
+  in
+
+  (* The static promise for each instance: iteration [k] of node [v]
+     starts at [k * L + CB(v) - 1] on the virtual clock (time 0 = the
+     first control step).  Execution behind this is a {e slip}. *)
+  let len = Schedule.length sched in
+  let cb0 = Array.init n (fun v -> Schedule.cb sched v - 1) in
+  let static_start inst = (iter_of inst * len) + cb0.(node_of inst) in
+
   (* Per-processor execution order: static (iteration, CB, node). *)
   let order = Array.make np [] in
   for i = iterations - 1 downto 0 do
@@ -97,9 +118,13 @@ let execute ?(policy = Contention_free) ?(transport = Store_and_forward)
   let head = Array.make np 0 in
   let pe_free = Array.make np 0 in
 
-  (* Input bookkeeping. *)
+  (* Input bookkeeping.  [last_src] / [last_msg] remember the producer
+     node and message id of each instance's latest-arriving input, so a
+     late start can be attributed to the edge that bound it. *)
   let missing = Array.make n_inst 0 in
   let ready_at = Array.make n_inst 0 in
+  let last_src = Array.make n_inst (-1) in
+  let last_msg = Array.make n_inst (-1) in
   List.iter
     (fun (e : Csdfg.attr G.edge) ->
       for i = 0 to iterations - 1 do
@@ -136,23 +161,66 @@ let execute ?(policy = Contention_free) ?(transport = Store_and_forward)
       if missing.(inst) = 0 then begin
         let v = node_of inst in
         let dur = Schedule.duration sched ~node:v ~pe:p in
-        let start = max now (max ready_at.(inst) pe_free.(p)) in
+        let prev_free = pe_free.(p) in
+        let start = max now (max ready_at.(inst) prev_free) in
         let finish = start + dur in
         pe_free.(p) <- finish;
         busy.(p) <- busy.(p) + dur;
         head.(p) <- head.(p) + 1;
         completion.(inst) <- finish;
+        let slip = start - static_start inst in
+        Obs.Histogram.observe h_slip (max 0 slip);
+        emit (Instance_start { t = start; node = v; iter = iter_of inst; pe = p });
+        if slip > 0 then begin
+          Obs.Counters.incr c_stalls;
+          let cause =
+            if prev_free >= start && ready_at.(inst) < start then
+              Events.Pe_busy
+            else if last_src.(inst) >= 0 then
+              Events.Input_wait
+                { src = last_src.(inst); dst = v; msg = last_msg.(inst) }
+            else Events.Pe_busy
+          in
+          emit
+            (Stall
+               {
+                 t = start;
+                 node = v;
+                 iter = iter_of inst;
+                 pe = p;
+                 wait = slip;
+                 cause;
+               })
+        end;
         push finish (Complete inst);
         try_start p now
       end
     end
   in
 
-  let arrive inst t =
+  let arrive ~src ~msg inst t =
     missing.(inst) <- missing.(inst) - 1;
-    if ready_at.(inst) < t then ready_at.(inst) <- t;
+    if t >= ready_at.(inst) then begin
+      ready_at.(inst) <- t;
+      last_src.(inst) <- src;
+      last_msg.(inst) <- msg
+    end;
     if missing.(inst) = 0 then
       try_start (Schedule.pe sched (node_of inst)) t
+  in
+
+  let deliver msg now =
+    emit
+      (Msg_deliver
+         {
+           t = now;
+           msg = msg.id;
+           node = node_of msg.target;
+           iter = iter_of msg.target;
+           latency = now - msg.sent_at;
+         });
+    Obs.Histogram.observe h_latency (now - msg.sent_at);
+    arrive ~src:msg.src_node ~msg:msg.id msg.target now
   in
 
   (* Store-and-forward cost of one hop: link latency times data volume,
@@ -175,6 +243,23 @@ let execute ?(policy = Contention_free) ?(transport = Store_and_forward)
             let n_hops = List.length rest in
             let transit = hop_time a final msg.volume in
             hop_count := !hop_count + n_hops;
+            (match recorder with
+            | None -> ()
+            | Some _ ->
+                (* per-link completion times: the route is shortest, so
+                   the per-hop times sum to the analytic transit *)
+                let tcur = ref now in
+                let rec walk = function
+                  | x :: (y :: _ as more) ->
+                      let dt = hop_time x y msg.volume in
+                      tcur := !tcur + dt;
+                      emit
+                        (Msg_hop
+                           { t = !tcur; msg = msg.id; link = (x, y); busy = dt });
+                      walk more
+                  | _ -> ()
+                in
+                walk msg.remaining);
             msg.remaining <- [ final ];
             push (now + transit) (Deliver msg)
         | Store_and_forward, Fifo_links ->
@@ -186,12 +271,29 @@ let execute ?(policy = Contention_free) ?(transport = Store_and_forward)
               push (now + t) (Hop_done msg)
             end
             else begin
+              msg.queued_at <- now;
+              Obs.Counters.incr c_stalls;
               Queue.add msg l.waiting;
-              l.backlog_peak <- max l.backlog_peak (Queue.length l.waiting)
+              l.backlog_peak <- max l.backlog_peak (Queue.length l.waiting);
+              Obs.Histogram.observe h_backlog (Queue.length l.waiting)
             end
         | Wormhole, Contention_free ->
             let transit = Topology.hops topo a final + msg.volume - 1 in
             hop_count := !hop_count + List.length rest;
+            (match recorder with
+            | None -> ()
+            | Some _ ->
+                List.iter
+                  (fun (x, y) ->
+                    emit
+                      (Msg_hop
+                         {
+                           t = now + transit;
+                           msg = msg.id;
+                           link = (x, y);
+                           busy = transit;
+                         }))
+                  (route_links msg.remaining));
             msg.remaining <- [ final ];
             push (now + transit) (Deliver msg)
         | Wormhole, Fifo_links ->
@@ -204,6 +306,29 @@ let execute ?(policy = Contention_free) ?(transport = Store_and_forward)
                 now hops
             in
             let window = Topology.hops topo a final + msg.volume - 1 in
+            if start > now then begin
+              Obs.Counters.incr c_stalls;
+              (* blame the link that frees last *)
+              let bx, by, _ =
+                List.fold_left
+                  (fun (bx, by, bf) (x, y) ->
+                    let f = (link x y).free_at in
+                    if f > bf then (x, y, f) else (bx, by, bf))
+                  (let x0, y0 = List.hd hops in
+                   (x0, y0, (link x0 y0).free_at))
+                  (List.tl hops)
+              in
+              emit
+                (Stall
+                   {
+                     t = start;
+                     node = node_of msg.target;
+                     iter = iter_of msg.target;
+                     pe = Schedule.pe sched (node_of msg.target);
+                     wait = start - now;
+                     cause = Events.Link_busy { link = (bx, by); msg = msg.id };
+                   })
+            end;
             List.iter
               (fun (x, y) ->
                 let l = link x y in
@@ -211,6 +336,20 @@ let execute ?(policy = Contention_free) ?(transport = Store_and_forward)
                 l.free_at <- start + window)
               hops;
             hop_count := !hop_count + List.length hops;
+            (match recorder with
+            | None -> ()
+            | Some _ ->
+                List.iter
+                  (fun (x, y) ->
+                    emit
+                      (Msg_hop
+                         {
+                           t = start + window;
+                           msg = msg.id;
+                           link = (x, y);
+                           busy = window;
+                         }))
+                  hops);
             msg.remaining <- [ final ];
             push (start + window) (Deliver msg))
     | _ -> assert false
@@ -218,7 +357,7 @@ let execute ?(policy = Contention_free) ?(transport = Store_and_forward)
 
   let deliver_or_continue msg now =
     match msg.remaining with
-    | [ _ ] -> arrive msg.target now
+    | [ _ ] -> deliver msg now
     | _ :: _ :: _ -> start_hop msg now
     | [] -> assert false
   in
@@ -227,22 +366,41 @@ let execute ?(policy = Contention_free) ?(transport = Store_and_forward)
     if now > !makespan then makespan := now;
     let u = node_of inst and i = iter_of inst in
     let p = Schedule.pe sched u in
+    emit (Instance_finish { t = now; node = u; iter = i; pe = p });
     List.iter
       (fun (e : Csdfg.attr G.edge) ->
         let j = i + Csdfg.delay e in
         if j < iterations then begin
           let w = e.G.dst in
           let q = Schedule.pe sched w in
-          if q = p then arrive (idx w j) now
+          if q = p then arrive ~src:u ~msg:(-1) (idx w j) now
           else begin
+            let id = !message_count in
             incr message_count;
             let msg =
               {
+                id;
                 volume = Csdfg.volume e;
+                src_node = u;
                 target = idx w j;
+                sent_at = now;
+                queued_at = now;
                 remaining = Topology.route topo ~src:p ~dst:q;
               }
             in
+            emit
+              (Msg_send
+                 {
+                   t = now;
+                   msg = id;
+                   src = u;
+                   dst = w;
+                   src_iter = i;
+                   dst_iter = j;
+                   from_pe = p;
+                   to_pe = q;
+                   volume = msg.volume;
+                 });
             start_hop msg now
           end
         end)
@@ -253,6 +411,14 @@ let execute ?(policy = Contention_free) ?(transport = Store_and_forward)
   let on_hop_done msg now =
     (match msg.remaining with
     | prev :: rest ->
+        emit
+          (Msg_hop
+             {
+               t = now;
+               msg = msg.id;
+               link = (prev, List.hd rest);
+               busy = hop_time prev (List.hd rest) msg.volume;
+             });
         (* free the link we just used and admit the next waiter *)
         (match rest with
         | next :: _ ->
@@ -262,6 +428,18 @@ let execute ?(policy = Contention_free) ?(transport = Store_and_forward)
                 let t = hop_time prev next waiter.volume in
                 l.free_at <- now + t;
                 hop_count := !hop_count + 1;
+                emit
+                  (Stall
+                     {
+                       t = now;
+                       node = node_of waiter.target;
+                       iter = iter_of waiter.target;
+                       pe = Schedule.pe sched (node_of waiter.target);
+                       wait = now - waiter.queued_at;
+                       cause =
+                         Events.Link_busy
+                           { link = (prev, next); msg = waiter.id };
+                     });
                 push (now + t) (Hop_done waiter)
             | None -> ());
             msg.remaining <- rest
@@ -283,7 +461,7 @@ let execute ?(policy = Contention_free) ?(transport = Store_and_forward)
         (match ev with
         | Complete inst -> on_complete inst t
         | Hop_done msg -> on_hop_done msg t
-        | Deliver msg -> arrive msg.target t);
+        | Deliver msg -> deliver msg t);
         drain ()
   in
   drain ();
@@ -313,6 +491,7 @@ let execute ?(policy = Contention_free) ?(transport = Store_and_forward)
   in
   Obs.Counters.incr c_messages ~by:!message_count;
   Obs.Counters.incr c_hops ~by:!hop_count;
+  Obs.Counters.set g_backlog max_link_backlog;
   let total_busy = Array.fold_left ( + ) 0 busy in
   {
     policy;
@@ -323,7 +502,13 @@ let execute ?(policy = Contention_free) ?(transport = Store_and_forward)
     messages = !message_count;
     message_hops = !hop_count;
     max_link_backlog;
-    busy;
+    busy = Array.copy busy;
+    per_pe_utilization =
+      Array.map
+        (fun b ->
+          if !makespan = 0 then 0.
+          else float_of_int b /. float_of_int !makespan)
+        busy;
     utilization =
       (if !makespan = 0 then 0.
        else float_of_int total_busy /. float_of_int (np * !makespan));

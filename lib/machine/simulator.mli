@@ -43,13 +43,18 @@ type stats = {
   max_link_backlog : int;
       (** worst number of messages ever waiting on one directed link
           (always 0 under {!Contention_free}) *)
-  busy : int array;  (** per-processor busy time *)
+  busy : int array;
+      (** per-processor busy time — a fresh copy per call, safe to
+          mutate *)
+  per_pe_utilization : float array;
+      (** per-processor [busy / makespan], index = processor *)
   utilization : float;  (** total busy time / (processors * makespan) *)
 }
 
 val execute :
   ?policy:policy ->
   ?transport:transport ->
+  ?recorder:Events.recorder ->
   Cyclo.Schedule.t ->
   Topology.t ->
   iterations:int ->
@@ -57,6 +62,22 @@ val execute :
 (** [transport] defaults to {!Store_and_forward}.  Pair {!Wormhole} with
     schedules built against {!Cyclo.Comm.wormhole} costs for the
     slowdown-1 guarantee to apply.
+
+    [recorder], when given, receives the full typed event stream of the
+    run (see {!Events}): instance starts/finishes, message sends, link
+    hops, deliveries, and stalls attributed to their proximate cause.
+    Recording is strictly observational — the returned stats are
+    identical with or without it (pinned by test).
+
+    Observability: besides the event stream, [execute] always feeds the
+    {!Obs} registries (one atomic flag read each when disabled) —
+    counters [simulator.messages], [simulator.message_hops],
+    [simulator.events], [simulator.stalls] and the gauge
+    [simulator.max_link_backlog], plus histograms
+    [simulator.msg_latency] (send-to-delivery control steps),
+    [simulator.link_backlog] (queue depth seen by each message that had
+    to wait) and [simulator.instance_slip] (per-instance start delay vs
+    the static promise [CB + k*L], 0 when on time).
     @raise Invalid_argument when the schedule is incomplete, illegal, the
     topology size differs from the schedule's processor count, or
     [iterations < 1]. *)

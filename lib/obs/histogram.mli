@@ -1,0 +1,70 @@
+(** Process-wide log2-bucketed value distributions.
+
+    Where {!Counters} answers "how many", a histogram answers "how
+    big": message latencies, link backlogs, instance slips — any
+    non-negative integer sample whose distribution matters more than
+    its total.  Samples land in power-of-two buckets: bucket 0 covers
+    [v <= 0], bucket [i >= 1] covers [2^(i-1) <= v < 2^i] (upper bound
+    [2^i - 1]) — so a 64-slot array captures the full [int] range with
+    relative error bounded by 2x, the classic log-bucketed trade-off at
+    a fraction of an exact histogram's footprint.
+
+    Handles live in one global registry like {!Counters}; recording
+    through a handle is lock-free (one atomic fetch-and-add into the
+    bucket plus count/sum updates) and a single atomic flag read when
+    the registry is disabled, so instrumented hot paths cost nothing
+    measurable until a caller opts in with {!enable}. *)
+
+type t
+(** A registered histogram handle. *)
+
+val histogram : string -> t
+(** [histogram name] registers [name] and returns its handle; calling
+    it again with the same name returns the same handle.  Safe to call
+    from any domain. *)
+
+val name : t -> string
+
+val observe : t -> int -> unit
+(** Record one sample.  Negative samples clamp to bucket 0 (they count
+    toward [count] but add 0 to [sum]).  No-op while disabled. *)
+
+val count : t -> int
+(** Samples recorded since the last {!enable} / {!reset}. *)
+
+val sum : t -> int
+(** Sum of recorded samples (negatives clamped to 0). *)
+
+val mean : t -> float
+(** [sum / count]; 0 on an empty histogram. *)
+
+val quantile : t -> float -> int
+(** [quantile h q] for [q] in [0..1]: the upper bound of the first
+    bucket at which the cumulative sample count reaches [q * count] —
+    an overestimate by at most 2x (bucket granularity).  0 on an empty
+    histogram.
+    @raise Invalid_argument when [q] is outside [0..1]. *)
+
+val buckets : t -> (int * int) list
+(** Non-empty buckets as [(upper_bound, count)] pairs, ascending by
+    bound.  Bucket 0's bound is 0. *)
+
+val enabled : unit -> bool
+
+val enable : unit -> unit
+(** Zero every registered histogram and start accepting samples. *)
+
+val disable : unit -> unit
+(** Stop accepting samples; recorded data remains readable. *)
+
+val reset : unit -> unit
+(** Zero every registered histogram without changing the enabled flag. *)
+
+val dump : unit -> (string * (int * int) list) list
+(** Snapshot of every registered histogram's {!buckets}, sorted by
+    name.  Histograms with no samples are included with an empty
+    bucket list, mirroring {!Counters.dump}. *)
+
+val pp_summary : Format.formatter -> unit -> unit
+(** Human-readable registry listing: one line per histogram with
+    count, sum, mean and the p50 / p90 / p99 bucket bounds. *)

@@ -157,7 +157,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let to_chrome_json ?(counters = []) () =
+let to_chrome_json ?(counters = []) ?(histograms = []) () =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
   List.iteri
@@ -190,5 +190,22 @@ let to_chrome_json ?(counters = []) () =
       Buffer.add_string b
         (Printf.sprintf "\n    \"%s\": %d" (json_escape name) v))
     counters;
-  Buffer.add_string b "\n  }\n}\n";
+  Buffer.add_string b "\n  }";
+  if histograms <> [] then begin
+    Buffer.add_string b ",\n  \"histograms\": {";
+    List.iteri
+      (fun i (name, buckets) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b
+          (Printf.sprintf "\n    \"%s\": [" (json_escape name));
+        List.iteri
+          (fun j (ub, c) ->
+            if j > 0 then Buffer.add_string b ", ";
+            Buffer.add_string b (Printf.sprintf "[%d, %d]" ub c))
+          buckets;
+        Buffer.add_char b ']')
+      histograms;
+    Buffer.add_string b "\n  }"
+  end;
+  Buffer.add_string b "\n}\n";
   Buffer.contents b

@@ -70,11 +70,16 @@ val pp_summary : Format.formatter -> unit -> unit
 (** Human-readable table of {!aggregate}: one line per span name with
     count, total and mean wall-clock time. *)
 
-val to_chrome_json : ?counters:(string * int) list -> unit -> string
+val to_chrome_json :
+  ?counters:(string * int) list ->
+  ?histograms:(string * (int * int) list) list ->
+  unit ->
+  string
 (** The current collection as Chrome [trace_event] JSON (object format),
     loadable in [chrome://tracing] and {{:https://ui.perfetto.dev}
     Perfetto}.  Every span becomes a complete ([ph = "X"]) event with
     microsecond [ts]/[dur], its domain as [tid] and its args attached;
     [counters] (e.g. {!Counters.dump}) is embedded as a top-level
-    ["counters"] object, which trace viewers ignore but scripts can
-    read back. *)
+    ["counters"] object and [histograms] (e.g. {!Histogram.dump}, as
+    [(upper_bound, count)] bucket lists) as a top-level ["histograms"]
+    object — trace viewers ignore both, scripts can read them back. *)

@@ -281,6 +281,302 @@ let test_all_workloads_simulate () =
         (stats.Sim.makespan <= Sim.static_bound s ~iterations:8))
     (Workloads.Suite.all ())
 
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Events = Machine.Events
+module Audit = Machine.Audit
+module Timeline = Machine.Timeline
+
+let stats_equal a b =
+  a.Sim.policy = b.Sim.policy
+  && a.Sim.transport = b.Sim.transport
+  && a.Sim.iterations = b.Sim.iterations
+  && a.Sim.makespan = b.Sim.makespan
+  && a.Sim.average_period = b.Sim.average_period
+  && a.Sim.messages = b.Sim.messages
+  && a.Sim.message_hops = b.Sim.message_hops
+  && a.Sim.max_link_backlog = b.Sim.max_link_backlog
+  && a.Sim.busy = b.Sim.busy
+  && a.Sim.per_pe_utilization = b.Sim.per_pe_utilization
+  && a.Sim.utilization = b.Sim.utilization
+
+let test_recorder_tallies_match_stats () =
+  (* Every policy/transport combination: the recorded stream must agree
+     event-for-event with the aggregate stats. *)
+  let g = Workloads.Examples.fig7 in
+  let topo = Topology.mesh ~rows:2 ~cols:4 in
+  let iterations = 12 in
+  List.iter
+    (fun (name, policy, transport) ->
+      let s =
+        match transport with
+        | Sim.Store_and_forward -> compacted g topo
+        | Sim.Wormhole ->
+            (Cyclo.Compaction.run g (Cyclo.Comm.wormhole topo))
+              .Cyclo.Compaction.best
+      in
+      let rec_ = Events.recorder () in
+      let stats =
+        Sim.execute ~policy ~transport ~recorder:rec_ s topo ~iterations
+      in
+      let evs = Events.events rec_ in
+      check (name ^ ": deliveries = messages") stats.Sim.messages
+        (Events.deliveries evs);
+      check (name ^ ": hop events = message_hops") stats.Sim.message_hops
+        (Events.hops evs);
+      let n_inst = Csdfg.n_nodes (Schedule.dfg s) * iterations in
+      let count p = List.length (List.filter p evs) in
+      check (name ^ ": every instance starts") n_inst
+        (count (function Events.Instance_start _ -> true | _ -> false));
+      check (name ^ ": every instance finishes") n_inst
+        (count (function Events.Instance_finish _ -> true | _ -> false));
+      check (name ^ ": sends = deliveries") stats.Sim.messages
+        (count (function Events.Msg_send _ -> true | _ -> false)))
+    [
+      ("free/saf", Sim.Contention_free, Sim.Store_and_forward);
+      ("fifo/saf", Sim.Fifo_links, Sim.Store_and_forward);
+      ("free/worm", Sim.Contention_free, Sim.Wormhole);
+      ("fifo/worm", Sim.Fifo_links, Sim.Wormhole);
+    ]
+
+let test_recording_is_observational () =
+  (* A run with the recorder attached returns byte-identical stats to a
+     run without it — the recorder must never perturb the simulation. *)
+  let g = Workloads.Dsp.correlator ~lags:4 in
+  let topo = Topology.linear_array 8 in
+  let s = compacted g topo in
+  List.iter
+    (fun policy ->
+      let plain = Sim.execute ~policy s topo ~iterations:20 in
+      let rec_ = Events.recorder () in
+      let recorded =
+        Sim.execute ~policy ~recorder:rec_ s topo ~iterations:20
+      in
+      check_bool "identical stats" true (stats_equal plain recorded);
+      check_bool "something was recorded" true (Events.count rec_ > 0))
+    [ Sim.Contention_free; Sim.Fifo_links ]
+
+let test_busy_array_is_a_copy () =
+  (* The satellite fix: stats.busy used to alias the simulator's
+     internal accumulator. *)
+  let g = Workloads.Examples.fig7 in
+  let topo = Topology.complete 8 in
+  let s = compacted g topo in
+  let a = Sim.execute s topo ~iterations:5 in
+  let expected = Array.copy a.Sim.busy in
+  a.Sim.busy.(0) <- -12345;
+  let b = Sim.execute s topo ~iterations:5 in
+  check "fresh run unaffected by caller mutation" expected.(0) b.Sim.busy.(0);
+  check_bool "whole array matches" true (b.Sim.busy = expected)
+
+let test_per_pe_utilization () =
+  let g = Workloads.Examples.fig7 in
+  let topo = Topology.mesh ~rows:2 ~cols:4 in
+  let s = compacted g topo in
+  let stats = Sim.execute s topo ~iterations:10 in
+  check "one entry per processor" (Topology.n_processors topo)
+    (Array.length stats.Sim.per_pe_utilization);
+  Array.iteri
+    (fun p u ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "pe%d utilization = busy / makespan" (p + 1))
+        (float_of_int stats.Sim.busy.(p) /. float_of_int stats.Sim.makespan)
+        u)
+    stats.Sim.per_pe_utilization;
+  let mean =
+    Array.fold_left ( +. ) 0. stats.Sim.per_pe_utilization
+    /. float_of_int (Array.length stats.Sim.per_pe_utilization)
+  in
+  Alcotest.(check (float 1e-9))
+    "mean of per-PE = aggregate" stats.Sim.utilization mean
+
+let test_stall_counters_and_histograms () =
+  Obs.Counters.enable ();
+  Obs.Histogram.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Counters.disable ();
+      Obs.Histogram.disable ())
+    (fun () ->
+      let g = Workloads.Dsp.correlator ~lags:4 in
+      let topo = Topology.linear_array 8 in
+      let s = compacted g topo in
+      let stats =
+        Sim.execute ~policy:Sim.Fifo_links s topo ~iterations:40
+      in
+      check_bool "contended run counts stalls" true
+        (Obs.Counters.value (Obs.Counters.counter "simulator.stalls") > 0);
+      check "backlog gauge mirrors stats" stats.Sim.max_link_backlog
+        (Obs.Counters.value
+           (Obs.Counters.counter "simulator.max_link_backlog"));
+      let latency = Obs.Histogram.histogram "simulator.msg_latency" in
+      check "one latency sample per delivery" stats.Sim.messages
+        (Obs.Histogram.count latency);
+      let slip = Obs.Histogram.histogram "simulator.instance_slip" in
+      check "one slip sample per instance"
+        (Csdfg.n_nodes (Schedule.dfg s) * 40)
+        (Obs.Histogram.count slip))
+
+let test_jsonl_export_well_formed () =
+  let g = Workloads.Examples.fig7 in
+  let topo = Topology.mesh ~rows:2 ~cols:4 in
+  let s = compacted g topo in
+  let rec_ = Events.recorder () in
+  let _ =
+    Sim.execute ~policy:Sim.Fifo_links ~recorder:rec_ s topo ~iterations:6
+  in
+  let evs = Events.events rec_ in
+  let lines =
+    String.split_on_char '\n' (Events.to_jsonl evs)
+    |> List.filter (fun l -> l <> "")
+  in
+  check "header + one line per event" (1 + Events.count rec_)
+    (List.length lines);
+  List.iteri
+    (fun i line ->
+      match Obs.Json.parse line with
+      | Ok json ->
+          if i = 0 then
+            Alcotest.(check (option string))
+              "schema header" (Some "ccsched-sim-events/1")
+              (Option.bind (Obs.Json.member "schema" json) Obs.Json.to_str)
+          else
+            check_bool "has ev discriminator" true
+              (Option.is_some (Obs.Json.member "ev" json))
+      | Error msg -> Alcotest.failf "line %d unparseable: %s" i msg)
+    lines;
+  (* times are non-decreasing in the export *)
+  let times =
+    List.filter_map
+      (fun l ->
+        match Obs.Json.parse l with
+        | Ok json -> Option.bind (Obs.Json.member "t" json) Obs.Json.to_int
+        | Error _ -> None)
+      lines
+  in
+  check_bool "sorted by time" true
+    (List.for_all2 (fun a b -> a <= b)
+       (List.filteri (fun i _ -> i < List.length times - 1) times)
+       (List.tl times))
+
+let test_timeline_views () =
+  let g = Workloads.Examples.fig7 in
+  let topo = Topology.mesh ~rows:2 ~cols:4 in
+  let s = compacted g topo in
+  let rec_ = Events.recorder () in
+  let _ =
+    Sim.execute ~policy:Sim.Fifo_links ~recorder:rec_ s topo ~iterations:4
+  in
+  let evs = Events.events rec_ in
+  let np = Topology.n_processors topo in
+  let svg = Timeline.to_svg ~np evs in
+  check_bool "svg prologue" true
+    (String.length svg > 5 && String.sub svg 0 4 = "<svg");
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "has pe lanes" true (contains svg "pe1");
+  check_bool "has message arrows" true (contains svg "marker-end");
+  let chrome = Timeline.to_chrome_json ~np evs in
+  (match Obs.Json.parse chrome with
+  | Ok json ->
+      check_bool "traceEvents array" true
+        (Option.is_some (Obs.Json.member "traceEvents" json))
+  | Error msg -> Alcotest.failf "chrome trace unparseable: %s" msg);
+  check_bool "network lane named" true (contains chrome "network")
+
+let test_audit_contention_free_conforms () =
+  (* Under the paper's model a legal schedule never falls behind the
+     static promise, so the audit must come back clean. *)
+  List.iter
+    (fun (name, g) ->
+      let topo = Topology.mesh ~rows:2 ~cols:4 in
+      let s = compacted g topo in
+      let rec_ = Events.recorder () in
+      let _ = Sim.execute ~recorder:rec_ s topo ~iterations:10 in
+      let a = Audit.audit s (Events.events rec_) in
+      check_bool (name ^ ": conforms") true a.Audit.conforms;
+      check (name ^ ": no slips") 0 a.Audit.slipped;
+      check (name ^ ": every instance audited")
+        (Csdfg.n_nodes (Schedule.dfg s) * 10)
+        a.Audit.instances)
+    [ ("fig7", Workloads.Examples.fig7); ("fig1b", Workloads.Examples.fig1b) ]
+
+let test_audit_names_blocking_chain () =
+  (* The acceptance case: a FIFO run with measured slowdown above 1.0
+     must attribute the slip to a named link/message chain. *)
+  let g = Workloads.Dsp.correlator ~lags:4 in
+  let topo = Topology.linear_array 8 in
+  let s = compacted g topo in
+  let rec_ = Events.recorder () in
+  let stats =
+    Sim.execute ~policy:Sim.Fifo_links ~recorder:rec_ s topo ~iterations:40
+  in
+  check_bool "slowdown above 1" true (Sim.slowdown stats s > 1.0);
+  let a = Audit.audit ~k:5 s (Events.events rec_) in
+  check_bool "does not conform" true (not a.Audit.conforms);
+  check_bool "offenders listed" true (a.Audit.worst <> []);
+  check_bool "a chain names a congested link" true
+    (List.exists
+       (fun (sl : Audit.slip) ->
+         List.exists
+           (function Audit.Link_contention _ -> true | _ -> false)
+           sl.Audit.chain)
+       a.Audit.worst);
+  check_bool "worst slip reported" true
+    (List.for_all (fun (sl : Audit.slip) -> sl.Audit.slip > 0) a.Audit.worst);
+  check_bool "link occupancy populated" true
+    (List.exists (fun (l : Audit.link_use) -> l.Audit.busy > 0) a.Audit.links);
+  (* the printer runs and mentions a link *)
+  let text = Fmt.str "%a" (Audit.pp ~label:(Csdfg.label (Schedule.dfg s))) a in
+  check_bool "report names a link" true
+    (let contains hay needle =
+       let nl = String.length needle and hl = String.length hay in
+       let rec go i =
+         i + nl <= hl && (String.sub hay i nl = needle || go (i + 1))
+       in
+       go 0
+     in
+     contains text "on link pe")
+
+let prop_fifo_never_beats_free =
+  (* Random workloads: serialising links can only delay execution, and
+     it never changes what was communicated.  The slowdown comparison is
+     on total makespan: the monotone quantity.  (average_period is a
+     second-half slope and can legitimately dip under FIFO when the
+     contention transient shifts completions into the first half — seed
+     8646 on ring:4 measures free 9.0 vs fifo 8.0 while the fifo
+     makespan is still larger.) *)
+  QCheck.Test.make ~count:40
+    ~name:"fifo makespan slowdown >= contention-free's"
+    (QCheck.int_range 0 10_000)
+    (fun seed ->
+      let g = Workloads.Random_gen.generate_connected ~seed () in
+      let topo =
+        match seed mod 3 with
+        | 0 -> Topology.linear_array 4
+        | 1 -> Topology.ring 4
+        | _ -> Topology.mesh ~rows:2 ~cols:2
+      in
+      let s = compacted g topo in
+      let free = Sim.execute ~policy:Sim.Contention_free s topo ~iterations:12 in
+      let fifo = Sim.execute ~policy:Sim.Fifo_links s topo ~iterations:12 in
+      if fifo.Sim.makespan < free.Sim.makespan then
+        QCheck.Test.fail_reportf "seed %d: fifo makespan %d < free %d" seed
+          fifo.Sim.makespan free.Sim.makespan;
+      if fifo.Sim.messages <> free.Sim.messages then
+        QCheck.Test.fail_reportf "seed %d: message counts differ" seed;
+      if fifo.Sim.message_hops <> free.Sim.message_hops then
+        QCheck.Test.fail_reportf "seed %d: hop counts differ" seed;
+      if free.Sim.max_link_backlog <> 0 then
+        QCheck.Test.fail_reportf "seed %d: free policy queued a message" seed;
+      float_of_int fifo.Sim.makespan /. float_of_int (max 1 free.Sim.makespan)
+      >= 1. -. 1e-9)
+
 let () =
   Alcotest.run "machine"
     [
@@ -323,5 +619,29 @@ let () =
           Alcotest.test_case "bad inputs" `Quick test_rejects_bad_inputs;
           Alcotest.test_case "deadlock detection" `Quick
             test_illegal_schedule_deadlocks;
+        ] );
+      ( "flight-recorder",
+        [
+          Alcotest.test_case "tallies match stats" `Quick
+            test_recorder_tallies_match_stats;
+          Alcotest.test_case "recording is observational" `Quick
+            test_recording_is_observational;
+          Alcotest.test_case "busy array is a copy" `Quick
+            test_busy_array_is_a_copy;
+          Alcotest.test_case "per-PE utilization" `Quick
+            test_per_pe_utilization;
+          Alcotest.test_case "stall counters and histograms" `Quick
+            test_stall_counters_and_histograms;
+          Alcotest.test_case "jsonl export" `Quick
+            test_jsonl_export_well_formed;
+          Alcotest.test_case "timeline views" `Quick test_timeline_views;
+        ] );
+      ( "audit",
+        [
+          Alcotest.test_case "contention-free conforms" `Quick
+            test_audit_contention_free_conforms;
+          Alcotest.test_case "contended run names its chain" `Quick
+            test_audit_names_blocking_chain;
+          QCheck_alcotest.to_alcotest ~long:false prop_fifo_never_beats_free;
         ] );
     ]

@@ -7,6 +7,7 @@
 
 module Trace = Obs.Trace
 module Counters = Obs.Counters
+module Histogram = Obs.Histogram
 module Schedule = Cyclo.Schedule
 module Compaction = Cyclo.Compaction
 
@@ -16,9 +17,11 @@ let quiet () =
   Trace.disable ();
   Counters.disable ();
   Journal.disable ();
+  Histogram.disable ();
   Trace.reset ();
   Counters.reset ();
-  Journal.reset ()
+  Journal.reset ();
+  Histogram.reset ()
 
 (* ------------------------------------------------------------------ *)
 (* Fast path                                                            *)
@@ -240,6 +243,70 @@ let test_counters () =
   quiet ()
 
 (* ------------------------------------------------------------------ *)
+(* Histograms                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_histogram_disabled_is_noop () =
+  quiet ();
+  let h = Histogram.histogram "test.h.off" in
+  Histogram.observe h 5;
+  Histogram.observe h 500;
+  Alcotest.(check int) "no samples while disabled" 0 (Histogram.count h)
+
+let test_histogram_bucketing () =
+  Histogram.enable ();
+  let h = Histogram.histogram "test.h.buckets" in
+  (* bucket 0: v <= 0; bucket i >= 1: 2^(i-1) <= v < 2^i *)
+  List.iter (Histogram.observe h) [ 0; -3; 1; 2; 3; 4; 7; 8; 1000 ];
+  Alcotest.(check int) "count" 9 (Histogram.count h);
+  Alcotest.(check int) "sum clamps negatives" (0 + 0 + 1 + 2 + 3 + 4 + 7 + 8 + 1000)
+    (Histogram.sum h);
+  Alcotest.(check (list (pair int int)))
+    "buckets (upper_bound, count)"
+    [ (0, 2); (1, 1); (3, 2); (7, 2); (15, 1); (1023, 1) ]
+    (Histogram.buckets h);
+  Alcotest.(check (float 1e-9))
+    "mean" (1025. /. 9.) (Histogram.mean h);
+  Alcotest.(check int) "p0 = smallest bound" 0 (Histogram.quantile h 0.0);
+  Alcotest.(check int) "median within 2x" 3 (Histogram.quantile h 0.5);
+  Alcotest.(check int) "p100 = largest bound" 1023 (Histogram.quantile h 1.0);
+  Alcotest.(check bool) "q out of range rejected" true
+    (match Histogram.quantile h 1.5 with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  Alcotest.(check bool) "same name, same handle" true
+    (Histogram.count (Histogram.histogram "test.h.buckets") = 9);
+  quiet ()
+
+let test_histogram_registry () =
+  Histogram.enable ();
+  let a = Histogram.histogram "test.h.a" in
+  let b = Histogram.histogram "test.h.b" in
+  Histogram.observe a 1;
+  Histogram.observe b 100;
+  let dump = Histogram.dump () in
+  Alcotest.(check bool) "dump is name-sorted" true
+    (dump = List.sort (fun (x, _) (y, _) -> compare x y) dump);
+  Alcotest.(check (option (list (pair int int))))
+    "a's buckets in the dump"
+    (Some [ (1, 1) ])
+    (List.assoc_opt "test.h.a" dump);
+  (* empty histograms appear with no buckets, mirroring Counters.dump *)
+  let c = Histogram.histogram "test.h.empty" in
+  ignore c;
+  Alcotest.(check (option (list (pair int int))))
+    "registered-but-empty included" (Some [])
+    (List.assoc_opt "test.h.empty" (Histogram.dump ()));
+  Histogram.enable ();
+  Alcotest.(check int) "enable zeroes the registry" 0 (Histogram.count a);
+  (* summary printer runs *)
+  Histogram.observe a 42;
+  let text = Fmt.str "%a" Histogram.pp_summary () in
+  Alcotest.(check bool) "summary mentions the histogram" true
+    (String.length text > 0);
+  quiet ()
+
+(* ------------------------------------------------------------------ *)
 (* Per-domain streams (Parutil integration)                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -385,7 +452,10 @@ let test_chrome_export () =
       Trace.with_span "b" (fun () -> ()));
   Trace.disable ();
   let json =
-    Trace.to_chrome_json ~counters:[ ("c.one", 1); ("c.two", 2) ] ()
+    Trace.to_chrome_json
+      ~counters:[ ("c.one", 1); ("c.two", 2) ]
+      ~histograms:[ ("h.lat", [ (1, 3); (7, 2) ]); ("h.empty", []) ]
+      ()
   in
   Alcotest.(check bool) "exporter output is valid JSON" true (json_valid json);
   let mem needle =
@@ -397,6 +467,9 @@ let test_chrome_export () =
   Alcotest.(check bool) "has complete events" true (mem "\"ph\": \"X\"");
   Alcotest.(check bool) "has the counters block" true (mem "\"counters\"");
   Alcotest.(check bool) "counter value embedded" true (mem "\"c.two\": 2");
+  Alcotest.(check bool) "has the histograms block" true (mem "\"histograms\"");
+  Alcotest.(check bool) "histogram buckets embedded" true
+    (mem "\"h.lat\": [[1, 3], [7, 2]]");
   Alcotest.(check bool) "escapes quotes in names" true (mem "a\\\"quoted\\\"");
   Alcotest.(check bool) "empty collection still valid" true
     (json_valid (Trace.to_chrome_json ()));
@@ -486,6 +559,14 @@ let () =
         [ Alcotest.test_case "reader accepts and rejects" `Quick test_json_reader ] );
       ( "counters",
         [ Alcotest.test_case "registry semantics" `Quick test_counters ] );
+      ( "histograms",
+        [
+          Alcotest.test_case "disabled is a no-op" `Quick
+            test_histogram_disabled_is_noop;
+          Alcotest.test_case "log2 bucketing and quantiles" `Quick
+            test_histogram_bucketing;
+          Alcotest.test_case "registry and dump" `Quick test_histogram_registry;
+        ] );
       ( "parallel",
         [
           Alcotest.test_case "per-domain streams merge" `Quick
