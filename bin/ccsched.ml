@@ -12,16 +12,30 @@ open Cmdliner
 (* Argument parsing helpers                                             *)
 (* ------------------------------------------------------------------ *)
 
+(* Exit-code discipline (also in docs/cli.md): 0 success, 1 internal
+   error or failed check, 2 usage error, 3 malformed input file. *)
+let die code msg =
+  Fmt.epr "ccsched: %s@." msg;
+  exit code
+
 let load_graph spec =
   match Workloads.Suite.find spec with
-  | Some g -> Ok g
+  | Some g -> g
   | None ->
-      if Sys.file_exists spec then Dataflow.Io.read_file ~path:spec
+      if Sys.file_exists spec then
+        match Dataflow.Io.read_file ~path:spec with
+        | Ok g -> g
+        | Error e -> die 3 (spec ^ ": " ^ Dataflow.Io.error_to_string e)
       else
-        Error
+        die 2
           (Printf.sprintf
              "unknown workload %S (try `ccsched list` or a .csdfg file path)"
              spec)
+
+let load_scenario path =
+  match Machine.Faults.read_file ~path with
+  | Ok s -> s
+  | Error e -> die 3 (path ^ ": " ^ Machine.Faults.error_to_string e)
 
 let parse_arch spec =
   let fail () =
@@ -120,11 +134,7 @@ let parse_speeds topo = function
         else Ok (Some speeds)
       end
 
-let or_die = function
-  | Ok v -> v
-  | Error msg ->
-      Fmt.epr "ccsched: %s@." msg;
-      exit 1
+let or_die = function Ok v -> v | Error msg -> die 2 msg
 
 (* ------------------------------------------------------------------ *)
 (* Observability (--profile / --metrics)                                *)
@@ -173,7 +183,7 @@ let with_observability ~profile ~metrics run =
   result
 
 let prepared spec slowdown =
-  let g = or_die (load_graph spec) in
+  let g = load_graph spec in
   if slowdown > 1 then Dataflow.Transform.slowdown g slowdown else g
 
 (* ------------------------------------------------------------------ *)
@@ -245,7 +255,7 @@ let schedule_cmd =
         Fmt.epr "INTERNAL ERROR: emitted an illegal schedule:@.%a@."
           (Fmt.list (Cyclo.Validator.pp_violation best))
           problems;
-        exit 2
+        exit 1
   in
   Cmd.v
     (Cmd.info "schedule"
@@ -375,7 +385,7 @@ let simulate_cmd =
          & info [ "events" ] ~docv:"FILE.jsonl"
              ~doc:"Write the typed execution event stream (instance \
                    starts/finishes, message sends, link hops, deliveries, \
-                   stalls) as JSONL, schema ccsched-sim-events/1.")
+                   stalls, faults) as JSONL, schema ccsched-sim-events/2.")
   in
   let timeline_arg =
     Arg.(value & opt (some string) None
@@ -398,10 +408,36 @@ let simulate_cmd =
                    chain (blocking message, congested link, late upstream \
                    instance), with per-link occupancy.")
   in
+  let faults_arg =
+    Arg.(value & opt (some string) None
+         & info [ "faults" ] ~docv:"FILE.fault"
+             ~doc:"Inject the fault scenario in $(docv) (fail-stop \
+                   processors, link outages, lossy links — see \
+                   docs/robustness.md) into the run.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Fault-scenario seed; a fixed seed replays the exact \
+                   same event stream.")
+  in
   let run spec arch mode passes slowdown iterations contention wormhole
-      events_path timeline_path chrome_path audit profile metrics =
+      faults_path seed events_path timeline_path chrome_path audit profile
+      metrics =
     let g = prepared spec slowdown in
     let topo = or_die (parse_arch arch) in
+    if faults_path <> None && wormhole then
+      die 2 "--faults requires store-and-forward transport (drop --wormhole)";
+    let faults =
+      Option.map
+        (fun path ->
+          let scen = load_scenario path in
+          (match Machine.Faults.validate scen topo with
+          | Ok () -> ()
+          | Error m -> die 2 (path ^ ": " ^ m));
+          Machine.Faults.arm ~seed scen)
+        faults_path
+    in
     with_observability ~profile ~metrics @@ fun () ->
     let comm =
       if wormhole then Cyclo.Comm.wormhole topo
@@ -425,7 +461,7 @@ let simulate_cmd =
       else None
     in
     let stats =
-      Machine.Simulator.execute ~policy ~transport ?recorder best topo
+      Machine.Simulator.execute ~policy ~transport ?recorder ?faults best topo
         ~iterations
     in
     Fmt.pr "schedule: %a@." Cyclo.Schedule.pp_compact best;
@@ -433,6 +469,9 @@ let simulate_cmd =
     Fmt.pr "static bound: %d, slowdown: %.3f@."
       (Machine.Simulator.static_bound best ~iterations)
       (Machine.Simulator.slowdown stats best);
+    (match stats.Machine.Simulator.faults with
+    | Some rep -> Fmt.pr "@.%a" Machine.Audit.pp_degradation rep
+    | None -> ());
     match recorder with
     | None -> ()
     | Some rec_ ->
@@ -467,8 +506,105 @@ let simulate_cmd =
              simulator and compare against the analytical model.")
     Term.(const run $ graph_arg $ arch_arg $ mode_arg $ passes_arg
           $ slowdown_arg $ iterations_arg $ contention_flag $ wormhole_flag
-          $ events_arg $ timeline_arg $ chrome_arg $ audit_flag
-          $ profile_arg $ metrics_flag)
+          $ faults_arg $ seed_arg $ events_arg $ timeline_arg $ chrome_arg
+          $ audit_flag $ profile_arg $ metrics_flag)
+
+let faultsim_cmd =
+  let scenario_arg =
+    Arg.(required & opt (some string) None
+         & info [ "scenario" ] ~docv:"FILE.fault"
+             ~doc:"Fault scenario to inject (see docs/robustness.md for the \
+                   format).")
+  in
+  let seed_arg =
+    Arg.(value & opt int 0
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Deterministic seed for the loss draws; a fixed seed \
+                   replays the exact same event stream.")
+  in
+  let iterations_arg =
+    Arg.(value & opt int 40
+         & info [ "n"; "iterations" ] ~docv:"N"
+             ~doc:"Loop iterations to execute.")
+  in
+  let contention_flag =
+    Arg.(value & flag
+         & info [ "contention" ]
+             ~doc:"Single-channel FIFO links instead of the paper's \
+                   contention-free model.")
+  in
+  let events_arg =
+    Arg.(value & opt (some string) None
+         & info [ "events" ] ~docv:"FILE.jsonl"
+             ~doc:"Write the typed execution event stream, including fault, \
+                   retry, drop and degraded-mode events, as JSONL (schema \
+                   ccsched-sim-events/2).")
+  in
+  let timeline_arg =
+    Arg.(value & opt (some string) None
+         & info [ "timeline" ] ~docv:"FILE.svg"
+             ~doc:"Write the executed-run Gantt chart with fault markers: \
+                   failed lanes are struck through, degraded-mode resume is \
+                   a dashed rule.")
+  in
+  let run spec arch mode passes slowdown scenario_path seed iterations
+      contention events_path timeline_path profile metrics =
+    let g = prepared spec slowdown in
+    let topo = or_die (parse_arch arch) in
+    let scen = load_scenario scenario_path in
+    (match Machine.Faults.validate scen topo with
+    | Ok () -> ()
+    | Error m -> die 2 (scenario_path ^ ": " ^ m));
+    let armed = Machine.Faults.arm ~seed scen in
+    with_observability ~profile ~metrics @@ fun () ->
+    let r = Cyclo.Compaction.run_on ~mode ?passes g topo in
+    let best = r.Cyclo.Compaction.best in
+    let policy =
+      if contention then Machine.Simulator.Fifo_links
+      else Machine.Simulator.Contention_free
+    in
+    let recorder =
+      if events_path <> None || timeline_path <> None then
+        Some (Machine.Events.recorder ())
+      else None
+    in
+    let stats =
+      Machine.Simulator.execute ~policy ?recorder ~faults:armed best topo
+        ~iterations
+    in
+    Fmt.pr "schedule: %a@." Cyclo.Schedule.pp_compact best;
+    Fmt.pr "execution: %a@." Machine.Simulator.pp_stats stats;
+    (match stats.Machine.Simulator.faults with
+    | Some rep -> Fmt.pr "@.%a" Machine.Audit.pp_degradation rep
+    | None -> ());
+    match recorder with
+    | None -> ()
+    | Some rec_ ->
+        let evs = Machine.Events.events rec_ in
+        let label v = Dataflow.Csdfg.label (Cyclo.Schedule.dfg best) v in
+        let np = Topology.n_processors topo in
+        (match events_path with
+        | Some path ->
+            Cyclo.Export.write_file ~path (Machine.Events.to_jsonl evs);
+            Fmt.pr "wrote %d events to %s@." (Machine.Events.count rec_) path
+        | None -> ());
+        (match timeline_path with
+        | Some path ->
+            Cyclo.Export.write_file ~path
+              (Machine.Timeline.to_svg ~label ~np evs);
+            Fmt.pr "wrote timeline %s@." path
+        | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "faultsim"
+       ~doc:"Execute the compacted schedule under an injected fault scenario: \
+             lossy links retry with exponential backoff, and permanent \
+             processor or link failures trigger degraded-mode rescheduling \
+             on the surviving machine, with the recovery judged and priced.")
+    Term.(const run $ graph_arg $ arch_arg $ mode_arg $ passes_arg
+          $ slowdown_arg $ scenario_arg $ seed_arg $ iterations_arg
+          $ contention_flag $ events_arg $ timeline_arg $ profile_arg
+          $ metrics_flag)
 
 let pipeline_cmd =
   let iterations_arg =
@@ -508,13 +644,19 @@ let pipeline_cmd =
     Term.(const run $ graph_arg $ arch_arg $ mode_arg $ passes_arg
           $ slowdown_arg $ iterations_arg)
 
+let time_budget_arg =
+  Arg.(value & opt (some float) None
+       & info [ "time-budget" ] ~docv:"SECONDS"
+           ~doc:"Wall-clock budget; on exhaustion the best-so-far result \
+                 is reported and tagged as truncated.")
+
 let autotune_cmd =
-  let run spec arch passes slowdown speeds profile metrics =
+  let run spec arch passes slowdown speeds time_budget profile metrics =
     let g = prepared spec slowdown in
     let topo = or_die (parse_arch arch) in
     let speeds = or_die (parse_speeds topo speeds) in
     with_observability ~profile ~metrics @@ fun () ->
-    let t = Cyclo.Autotune.run_on ?passes ?speeds g topo in
+    let t = Cyclo.Autotune.run_on ?passes ?speeds ?time_budget g topo in
     Fmt.pr "%a@." Cyclo.Autotune.pp t;
     Fmt.pr "@.best schedule:@.%a@." Cyclo.Schedule.pp t.Cyclo.Autotune.best;
     Fmt.pr "metrics: %a@." Cyclo.Metrics.pp_summary t.Cyclo.Autotune.best
@@ -525,7 +667,7 @@ let autotune_cmd =
              plus local-search polish) in parallel and keep the shortest \
              schedule.")
     Term.(const run $ graph_arg $ arch_arg $ passes_arg $ slowdown_arg
-          $ speeds_arg $ profile_arg $ metrics_flag)
+          $ speeds_arg $ time_budget_arg $ profile_arg $ metrics_flag)
 
 let partition_cmd =
   let graphs_arg =
@@ -539,7 +681,7 @@ let partition_cmd =
                    carving isolated regions.")
   in
   let run specs arch fused =
-    let graphs = List.map (fun s -> or_die (load_graph s)) specs in
+    let graphs = List.map load_graph specs in
     let topo = or_die (parse_arch arch) in
     let result =
       if fused then Cyclo.Partition.fused graphs topo
@@ -562,15 +704,20 @@ let optimal_cmd =
     Arg.(value & opt int 2_000_000
          & info [ "max-states" ] ~docv:"N" ~doc:"Search-node budget.")
   in
-  let run spec arch slowdown states =
+  let run spec arch slowdown states time_budget =
     let g = prepared spec slowdown in
     let topo = or_die (parse_arch arch) in
     let comm = Cyclo.Comm.of_topology topo in
-    (match Cyclo.Exhaustive.solve ~max_states:states g comm with
+    (match Cyclo.Exhaustive.solve ~max_states:states ?time_budget g comm with
     | Cyclo.Exhaustive.Optimal s ->
         Fmt.pr "optimal static schedule (no retiming): length %d@.%a@."
           (Cyclo.Schedule.length s) Cyclo.Schedule.pp s
-    | Cyclo.Exhaustive.Gave_up _ ->
+    | Cyclo.Exhaustive.Gave_up (Some s) ->
+        Fmt.pr
+          "search budget exhausted; best known schedule (start-up): length \
+           %d@.%a@."
+          (Cyclo.Schedule.length s) Cyclo.Schedule.pp s
+    | Cyclo.Exhaustive.Gave_up None ->
         Fmt.pr "gave up within %d states (instance too large)@." states);
     let r = Cyclo.Compaction.run_on g topo in
     Fmt.pr "@.cyclo-compaction (with retiming): length %d@."
@@ -583,7 +730,8 @@ let optimal_cmd =
     (Cmd.info "optimal"
        ~doc:"Exact branch-and-bound schedule for small graphs, compared \
              against cyclo-compaction.")
-    Term.(const run $ graph_arg $ arch_arg $ slowdown_arg $ states_arg)
+    Term.(const run $ graph_arg $ arch_arg $ slowdown_arg $ states_arg
+          $ time_budget_arg)
 
 let validate_cmd =
   let csv_arg =
@@ -603,9 +751,7 @@ let validate_cmd =
           (fun () -> really_input_string ic (in_channel_length ic))
       with
       | text -> text
-      | exception Sys_error msg ->
-          Fmt.epr "ccsched: %s@." msg;
-          exit 1
+      | exception Sys_error msg -> die 3 msg
     in
     (* re-apply the retiming recorded at export time, if any *)
     let g =
@@ -633,13 +779,10 @@ let validate_cmd =
             match Dataflow.Retiming.apply g r with
             | retimed -> retimed
             | exception Invalid_argument msg ->
-                Fmt.epr "ccsched: bad retiming in CSV: %s@." msg;
-                exit 1)
+                die 3 ("bad retiming in CSV: " ^ msg))
     in
     match Cyclo.Export.of_csv ?speeds g (Cyclo.Comm.of_topology topo) text with
-    | Error msg ->
-        Fmt.epr "ccsched: %s@." msg;
-        exit 1
+    | Error msg -> die 3 msg
     | Ok sched -> (
         Fmt.pr "%a@." Cyclo.Schedule.pp sched;
         match Cyclo.Validator.check sched with
@@ -894,9 +1037,19 @@ let () =
         "Architecture-dependent loop scheduling via communication-sensitive \
          remapping (cyclo-compaction), after Tongsima, Passos & Sha, ICPP 1995."
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ list_cmd; show_cmd; schedule_cmd; compare_cmd; export_cmd;
-            simulate_cmd; pipeline_cmd; autotune_cmd; partition_cmd;
-            optimal_cmd; validate_cmd; explain_cmd; report_cmd; diff_cmd ]))
+  let group =
+    Cmd.group info
+      [ list_cmd; show_cmd; schedule_cmd; compare_cmd; export_cmd;
+        simulate_cmd; faultsim_cmd; pipeline_cmd; autotune_cmd; partition_cmd;
+        optimal_cmd; validate_cmd; explain_cmd; report_cmd; diff_cmd ]
+  in
+  (* ~catch:false so unexpected exceptions reach us: report one line on
+     stderr, no backtrace, exit 1.  Cmdliner's own CLI-parse failures
+     are remapped onto the documented usage code 2. *)
+  let code =
+    try Cmd.eval ~catch:false group with
+    | e ->
+        Fmt.epr "ccsched: internal error: %s@." (Printexc.to_string e);
+        1
+  in
+  exit (if code = Cmd.Exit.cli_error then 2 else code)

@@ -1,6 +1,11 @@
 type entry = { mode : Remap.mode; scoring : Remap.scoring; length : int }
 
-type t = { best : Schedule.t; winner : entry; table : entry list }
+type t = {
+  best : Schedule.t;
+  winner : entry;
+  table : entry list;
+  exhausted : bool;
+}
 
 let configurations =
   [
@@ -12,7 +17,7 @@ let configurations =
 
 let c_configs = Obs.Counters.counter "autotune.configs"
 
-let run ?passes ?speeds ?(parallel = true) dfg comm =
+let run ?passes ?speeds ?(parallel = true) ?time_budget dfg comm =
   Obs.Trace.with_span "autotune.run"
     ~args:[ ("graph", Dataflow.Csdfg.name dfg) ]
   @@ fun () ->
@@ -31,9 +36,27 @@ let run ?passes ?speeds ?(parallel = true) dfg comm =
     let polished = Refine.polish r in
     ((mode, scoring), polished)
   in
-  let results =
-    if parallel then Parutil.Parallel.map one configurations
-    else List.map one configurations
+  let results, exhausted =
+    match time_budget with
+    | None ->
+        let r =
+          if parallel then Parutil.Parallel.map one configurations
+          else List.map one configurations
+        in
+        (r, false)
+    | Some seconds ->
+        (* Budgeted runs are sequential: the deadline is re-checked
+           before each configuration, and the first one always runs so
+           there is always a best. *)
+        let deadline = Obs.Trace.now_ns () + int_of_float (seconds *. 1e9) in
+        let rec go acc = function
+          | [] -> (List.rev acc, false)
+          | c :: rest ->
+              if acc <> [] && Obs.Trace.now_ns () > deadline then
+                (List.rev acc, true)
+              else go (one c :: acc) rest
+        in
+        go [] configurations
   in
   let ranked =
     List.sort
@@ -52,10 +75,11 @@ let run ?passes ?speeds ?(parallel = true) dfg comm =
             (fun ((mode, scoring), s) ->
               { mode; scoring; length = Schedule.length s })
             ranked;
+        exhausted;
       }
 
-let run_on ?passes ?speeds ?parallel dfg topo =
-  run ?passes ?speeds ?parallel dfg (Comm.of_topology topo)
+let run_on ?passes ?speeds ?parallel ?time_budget dfg topo =
+  run ?passes ?speeds ?parallel ?time_budget dfg (Comm.of_topology topo)
 
 let pp ppf t =
   Fmt.pf ppf "@[<v>autotune winner: %a / %a at length %d@," Remap.pp_mode
@@ -65,4 +89,8 @@ let pp ppf t =
       Fmt.pf ppf "  %a / %a -> %d@," Remap.pp_mode e.mode Remap.pp_scoring
         e.scoring e.length)
     t.table;
+  if t.exhausted then
+    Fmt.pf ppf "  (time budget exhausted: %d of %d configurations tried)@,"
+      (List.length t.table)
+      (List.length configurations);
   Fmt.pf ppf "@]"

@@ -17,25 +17,34 @@ type entry = {
 type t = {
   best : Schedule.t;
   winner : entry;
-  table : entry list;  (** all configurations, shortest first *)
+  table : entry list;  (** configurations actually tried, shortest first *)
+  exhausted : bool;
+      (** [true] when a [time_budget] ran out before every configuration
+          was tried; [best] is then best-so-far, not the portfolio min *)
 }
 
 val run :
   ?passes:int ->
   ?speeds:int array ->
   ?parallel:bool ->
+  ?time_budget:float ->
   Dataflow.Csdfg.t ->
   Comm.t ->
   t
 (** Runs the four (mode, scoring) configurations plus a local-search
     polish on each winner candidate; [parallel] (default true) fans the
     runs over domains.  Always at least as good as any single
-    configuration.  @raise Invalid_argument on an illegal CSDFG. *)
+    configuration.  [time_budget] (seconds of wall clock) forces the
+    runs sequential and stops starting new configurations once the
+    budget is spent; the first configuration always runs, so there is
+    always a [best], and [exhausted] records the truncation.
+    @raise Invalid_argument on an illegal CSDFG. *)
 
 val run_on :
   ?passes:int ->
   ?speeds:int array ->
   ?parallel:bool ->
+  ?time_budget:float ->
   Dataflow.Csdfg.t ->
   Topology.t ->
   t

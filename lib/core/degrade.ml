@@ -1,0 +1,229 @@
+module Csdfg = Dataflow.Csdfg
+module G = Digraph.Graph
+
+type strategy = Patched | Rebuilt
+
+type plan = {
+  failed_pes : int list;
+  failed_links : (int * int) list;
+  surviving : int array;
+  of_original : int array;
+  topology : Topology.t;
+  schedule : Schedule.t;
+  strategy : strategy;
+  moved : (int * int * int) list;
+  migration_cost : int;
+}
+
+let canon (a, b) = (min a b, max a b)
+
+let sub_topology topo ~failed_pes ~failed_links =
+  let np = Topology.n_processors topo in
+  let dead = Array.make np false in
+  List.iter
+    (fun p ->
+      if p < 0 || p >= np then
+        invalid_arg "Degrade.sub_topology: failed processor out of range";
+      dead.(p) <- true)
+    failed_pes;
+  let cut = List.map canon failed_links in
+  let surviving =
+    Array.of_list
+      (List.filter (fun p -> not dead.(p)) (List.init np (fun p -> p)))
+  in
+  if Array.length surviving = 0 then
+    Error "no processor survives the scenario"
+  else begin
+    let of_original = Array.make np (-1) in
+    Array.iteri (fun i p -> of_original.(p) <- i) surviving;
+    let links =
+      Topology.weighted_links topo
+      |> List.filter_map (fun (a, b, w) ->
+             if dead.(a) || dead.(b) || List.mem (canon (a, b)) cut then None
+             else Some (of_original.(a), of_original.(b), w))
+    in
+    match
+      Topology.of_weighted_links
+        ~name:(Topology.name topo ^ "-degraded")
+        ~n:(Array.length surviving) links
+    with
+    | dtopo -> Ok (surviving, dtopo)
+    | exception Invalid_argument msg -> Error msg
+  end
+
+let migration_volume sched v =
+  let dfg = Schedule.dfg sched in
+  max 1
+    (List.fold_left
+       (fun acc (e : Csdfg.attr G.edge) ->
+         acc + (Csdfg.delay e * Csdfg.volume e))
+       0
+       (Csdfg.pred dfg v))
+
+let c_replans = Obs.Counters.counter "degrade.replans"
+let c_patch_fallbacks = Obs.Counters.counter "degrade.patch_fallbacks"
+
+(* Communication a placement of [v] on [p] adds against its already
+   assigned neighbours — the tie-breaker mirroring Remap's candidate
+   ranking. *)
+let adjacent_comm dfg dcomm sched v p =
+  let one acc (e : Csdfg.attr G.edge) =
+    let other = if e.G.src = v then e.G.dst else e.G.src in
+    if other <> v && Schedule.is_assigned sched other then
+      let q = Schedule.pe sched other in
+      let src, dst = if e.G.src = v then (p, q) else (q, p) in
+      acc + Comm.cost dcomm ~src ~dst ~volume:(Csdfg.volume e)
+    else acc
+  in
+  List.fold_left one
+    (List.fold_left one 0 (Csdfg.pred dfg v))
+    (Csdfg.succ dfg v)
+
+let valid_on dsched dtopo =
+  Validator.is_legal dsched
+  && Validator.check_topology dsched dtopo = Ok ()
+
+let replan sched topo ~failed_pes ~failed_links =
+  Obs.Counters.incr c_replans;
+  Obs.Trace.with_span "degrade.replan"
+    ~args:
+      [
+        ("failed_pes", string_of_int (List.length failed_pes));
+        ("failed_links", string_of_int (List.length failed_links));
+      ]
+  @@ fun () ->
+  if not (Schedule.assigned_all sched) then
+    invalid_arg "Degrade.replan: schedule has unassigned nodes";
+  let np = Topology.n_processors topo in
+  if np <> Schedule.n_processors sched then
+    invalid_arg "Degrade.replan: topology size mismatch";
+  match sub_topology topo ~failed_pes ~failed_links with
+  | Error _ as e -> e
+  | Ok (surviving, dtopo) ->
+      let of_original = Array.make np (-1) in
+      Array.iteri (fun i p -> of_original.(p) <- i) surviving;
+      let is_dead p = of_original.(p) < 0 in
+      let dfg = Schedule.dfg sched in
+      let speeds = Schedule.speeds sched in
+      let dspeeds = Array.map (fun p -> speeds.(p)) surviving in
+      let dcomm = Comm.of_topology dtopo in
+      let nodes = Csdfg.nodes dfg in
+      let dnp = Array.length surviving in
+      (* Patch: survivors pinned at their control steps, victims
+         re-placed one at a time in static order by the same candidate
+         search Remap uses — earliest admissible step (anticipation
+         function, then first idle slot), ties broken by added
+         communication, then processor id. *)
+      let patch () =
+        let base =
+          List.fold_left
+            (fun s v ->
+              let p = Schedule.pe sched v in
+              if is_dead p then s
+              else
+                Schedule.assign s ~node:v ~cb:(Schedule.cb sched v)
+                  ~pe:of_original.(p))
+            (Schedule.empty ~speeds:dspeeds dfg dcomm)
+            nodes
+        in
+        let victims =
+          List.filter (fun v -> is_dead (Schedule.pe sched v)) nodes
+          |> List.sort (fun a b ->
+                 match compare (Schedule.cb sched a) (Schedule.cb sched b) with
+                 | 0 -> compare a b
+                 | c -> c)
+        in
+        let target = Schedule.length sched in
+        let place s v =
+          let best = ref (max_int, max_int, -1) in
+          for p = 0 to dnp - 1 do
+            let span = Schedule.duration s ~node:v ~pe:p in
+            let an =
+              Timing.earliest_start s ~node:v ~pe:p ~target_length:target
+            in
+            let cs = Schedule.first_free_slot s ~pe:p ~from:(max 1 an) ~span in
+            let cand = (cs, adjacent_comm dfg dcomm s v p, p) in
+            if cand < !best then best := cand
+          done;
+          let cs, _, p = !best in
+          Schedule.assign s ~node:v ~cb:cs ~pe:p
+        in
+        let s = List.fold_left place base victims in
+        let s = Schedule.set_length s (Timing.required_length s) in
+        if valid_on s dtopo then Some s else None
+      in
+      let schedule, strategy =
+        match patch () with
+        | Some s -> (s, Patched)
+        | None ->
+            (* never re-compact here: compaction retimes, and retiming
+               moves tokens across the iteration boundary the recovery
+               checkpoint was taken at *)
+            Obs.Counters.incr c_patch_fallbacks;
+            (Startup.run ~speeds:dspeeds dfg dcomm, Rebuilt)
+      in
+      if not (valid_on schedule dtopo) then
+        Error "degraded schedule failed validation (internal error)"
+      else begin
+        (* Migration: every node that changed processor ships its
+           loop-carried state from a donor — its old processor when
+           alive, else the nearest surviving neighbour of the dead
+           processor (where a checkpoint would live) — priced by the
+           degraded machine's own communication function. *)
+        let donor_of p =
+          if not (is_dead p) then p
+          else
+            Array.fold_left
+              (fun (bd, bq) q ->
+                let d = Topology.hops topo p q in
+                if d < bd || (d = bd && q < bq) then (d, q) else (bd, bq))
+              (max_int, max_int) surviving
+            |> snd
+        in
+        let moved =
+          List.filter_map
+            (fun v ->
+              let old_pe = Schedule.pe sched v in
+              let new_pe = surviving.(Schedule.pe schedule v) in
+              if old_pe <> new_pe then Some (v, old_pe, new_pe) else None)
+            nodes
+        in
+        let migration_cost =
+          List.fold_left
+            (fun acc (v, old_pe, new_pe) ->
+              let donor = of_original.(donor_of old_pe) in
+              acc
+              + Topology.comm_cost dtopo ~src:donor ~dst:of_original.(new_pe)
+                  ~volume:(migration_volume sched v))
+            0 moved
+        in
+        Ok
+          {
+            failed_pes = List.sort_uniq compare failed_pes;
+            failed_links = List.sort_uniq compare (List.map canon failed_links);
+            surviving;
+            of_original;
+            topology = dtopo;
+            schedule;
+            strategy;
+            moved;
+            migration_cost;
+          }
+      end
+
+let pp ppf plan =
+  let dfg = Schedule.dfg plan.schedule in
+  Format.fprintf ppf "@[<v>degraded plan (%s): %d -> %d processors@,"
+    (match plan.strategy with Patched -> "patched" | Rebuilt -> "rebuilt")
+    (Array.length plan.of_original)
+    (Array.length plan.surviving);
+  Format.fprintf ppf "degraded table length: %d@,"
+    (Schedule.length plan.schedule);
+  Format.fprintf ppf "moved %d node(s), migration cost %d@,"
+    (List.length plan.moved) plan.migration_cost;
+  List.iter
+    (fun (v, old_pe, new_pe) ->
+      Format.fprintf ppf "  %s: pe%d -> pe%d@," (Csdfg.label dfg v)
+        (old_pe + 1) (new_pe + 1))
+    plan.moved;
+  Format.fprintf ppf "@]"

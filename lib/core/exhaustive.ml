@@ -21,7 +21,7 @@ exception Budget
 (* Feasibility of one table length by depth-first placement.  Nodes are
    tried in zero-delay topological order so intra-iteration producers are
    placed before consumers. *)
-let feasible ?speeds ~states ~max_states dfg comm ~length =
+let feasible ?speeds ~tick dfg comm ~length =
   let order =
     match Digraph.Topo.sort (Csdfg.zero_delay_graph dfg) with
     | Some o -> o
@@ -53,8 +53,7 @@ let feasible ?speeds ~states ~max_states dfg comm ~length =
     | [] -> Some sched
     | v :: rest ->
         let try_slot pe cb =
-          incr states;
-          if !states > max_states then raise Budget;
+          tick ();
           if
             Schedule.is_free sched ~pe ~cb
               ~span:(Schedule.duration sched ~node:v ~pe)
@@ -79,20 +78,33 @@ let feasible ?speeds ~states ~max_states dfg comm ~length =
   in
   place base order
 
-let solve ?speeds ?(max_states = 2_000_000) ?max_length dfg comm =
+let solve ?speeds ?(max_states = 2_000_000) ?max_length ?time_budget dfg comm
+    =
   (match Csdfg.validate dfg with
   | Ok () -> ()
   | Error _ -> invalid_arg "Exhaustive.solve: illegal CSDFG");
+  let startup = Startup.run ?speeds dfg comm in
   let ceiling =
-    match max_length with
-    | Some l -> l
-    | None -> Schedule.length (Startup.run ?speeds dfg comm)
+    match max_length with Some l -> l | None -> Schedule.length startup
+  in
+  let deadline =
+    match time_budget with
+    | Some seconds -> Some (Obs.Trace.now_ns () + int_of_float (seconds *. 1e9))
+    | None -> None
   in
   let states = ref 0 in
+  let tick () =
+    incr states;
+    if !states > max_states then raise Budget;
+    match deadline with
+    | Some d when !states land 1023 = 0 && Obs.Trace.now_ns () > d ->
+        raise Budget
+    | _ -> ()
+  in
   let rec deepen length =
     if length > ceiling then None
     else
-      match feasible ?speeds ~states ~max_states dfg comm ~length with
+      match feasible ?speeds ~tick dfg comm ~length with
       | Some sched -> Some (Schedule.set_length sched length)
       | None -> deepen (length + 1)
   in
@@ -103,7 +115,11 @@ let solve ?speeds ?(max_states = 2_000_000) ?max_length dfg comm =
          default ceiling is used, so reaching here means an explicit
          max_length excluded every length *)
       Gave_up None
-  | exception Budget -> Gave_up None
+  | exception Budget ->
+      (* best-so-far: the startup schedule is a known-legal answer, but
+         only report it when it fits the caller's length ceiling *)
+      Gave_up
+        (if Schedule.length startup <= ceiling then Some startup else None)
 
 let optimality_gap sched =
   match

@@ -19,12 +19,17 @@ val solve :
   ?speeds:int array ->
   ?max_states:int ->
   ?max_length:int ->
+  ?time_budget:float ->
   Dataflow.Csdfg.t ->
   Comm.t ->
   outcome
 (** [max_states] bounds the total search nodes (default 2_000_000);
     [max_length] bounds the deepening (default: the start-up schedule's
-    length, which is always feasible).
+    length, which is always feasible); [time_budget] is a wall-clock
+    limit in seconds (checked every 1024 search nodes, so very small
+    searches may finish instead of timing out).  When either budget
+    runs out, {!Gave_up} carries the start-up schedule as the best
+    known answer — unless an explicit [max_length] excludes it.
     @raise Invalid_argument on an illegal CSDFG. *)
 
 val optimality_gap : Schedule.t -> int option

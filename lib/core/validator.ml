@@ -6,6 +6,8 @@ type violation =
   | Out_of_table of int
   | Overlap of int * int
   | Dependence of Csdfg.attr G.edge * int
+  | Missing_processor of int
+  | Unroutable of Csdfg.attr G.edge
 
 let pp_violation sched ppf v =
   let dfg = Schedule.dfg sched in
@@ -22,6 +24,15 @@ let pp_violation sched ppf v =
       Fmt.pf ppf "edge %s -> %s (d=%d c=%d) is %d step(s) too tight"
         (Csdfg.label dfg e.G.src) (Csdfg.label dfg e.G.dst) (Csdfg.delay e)
         (Csdfg.volume e) missing
+  | Missing_processor n ->
+      Fmt.pf ppf "node %s is placed on pe%d, which is absent or failed"
+        (Csdfg.label dfg n)
+        (Schedule.pe sched n + 1)
+  | Unroutable e ->
+      Fmt.pf ppf "edge %s -> %s has no route (pe%d to pe%d unreachable)"
+        (Csdfg.label dfg e.G.src) (Csdfg.label dfg e.G.dst)
+        (Schedule.pe sched e.G.src + 1)
+        (Schedule.pe sched e.G.dst + 1)
 
 let check sched =
   let dfg = Schedule.dfg sched in
@@ -63,6 +74,70 @@ let check sched =
   match List.rev !problems with [] -> Ok () | l -> Error l
 
 let is_legal sched = check sched = Ok ()
+
+(* Placement-vs-machine consistency: every node on a live, in-range
+   processor, and every cross-processor edge routable over the live
+   part of the machine.  [alive] restricts the topology (degraded-mode
+   checks); by default every processor is live.  Reachability is BFS
+   over the link graph restricted to live endpoints, from each live
+   source once. *)
+let check_topology ?alive sched topo =
+  let np = Topology.n_processors topo in
+  let live p =
+    p >= 0 && p < np
+    && match alive with None -> true | Some a -> p < Array.length a && a.(p)
+  in
+  let adj = Array.make np [] in
+  List.iter
+    (fun (a, b) ->
+      if live a && live b then begin
+        adj.(a) <- b :: adj.(a);
+        adj.(b) <- a :: adj.(b)
+      end)
+    (Topology.links topo);
+  let reach = Hashtbl.create 8 in
+  let reachable_from p =
+    match Hashtbl.find_opt reach p with
+    | Some r -> r
+    | None ->
+        let seen = Array.make np false in
+        seen.(p) <- true;
+        let q = Queue.create () in
+        Queue.add p q;
+        while not (Queue.is_empty q) do
+          let x = Queue.take q in
+          List.iter
+            (fun y ->
+              if not seen.(y) then begin
+                seen.(y) <- true;
+                Queue.add y q
+              end)
+            adj.(x)
+        done;
+        Hashtbl.add reach p seen;
+        seen
+  in
+  let dfg = Schedule.dfg sched in
+  let problems = ref [] in
+  let note p = problems := p :: !problems in
+  List.iter
+    (fun v ->
+      if Schedule.is_assigned sched v && not (live (Schedule.pe sched v)) then
+        note (Missing_processor v))
+    (Csdfg.nodes dfg);
+  if !problems = [] then
+    List.iter
+      (fun (e : Csdfg.attr G.edge) ->
+        if
+          Schedule.is_assigned sched e.G.src
+          && Schedule.is_assigned sched e.G.dst
+        then begin
+          let p = Schedule.pe sched e.G.src
+          and q = Schedule.pe sched e.G.dst in
+          if p <> q && not (reachable_from p).(q) then note (Unroutable e)
+        end)
+      (Csdfg.edges dfg);
+  match List.rev !problems with [] -> Ok () | l -> Error l
 
 let assert_legal sched =
   match check sched with

@@ -22,11 +22,18 @@ type accum = {
   mutable edges : (string * string * int * int) list;  (* reversed *)
 }
 
+type error = { line : int option; message : string }
+
+let error_to_string e =
+  match e.line with
+  | Some l -> Printf.sprintf "line %d: %s" l e.message
+  | None -> e.message
+
+let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
+
 let of_string text =
   let acc = { name = "unnamed"; nodes = []; edges = [] } in
-  let error lineno msg =
-    Error (Printf.sprintf "line %d: %s" lineno msg)
-  in
+  let error lineno msg = Error { line = Some lineno; message = msg } in
   let strip_comment line =
     match String.index_opt line '#' with
     | None -> line
@@ -74,12 +81,12 @@ let of_string text =
         Ok
           (Csdfg.make ~name:acc.name ~nodes:(List.rev acc.nodes)
              ~edges:(List.rev acc.edges))
-      with Invalid_argument msg -> Error msg)
+      with Invalid_argument msg -> Error { line = None; message = msg })
 
 let of_string_exn text =
   match of_string text with
   | Ok g -> g
-  | Error msg -> invalid_arg ("Csdfg.Io.of_string_exn: " ^ msg)
+  | Error e -> invalid_arg ("Csdfg.Io.of_string_exn: " ^ error_to_string e)
 
 let write_file ~path g =
   let oc = open_out path in
@@ -95,4 +102,4 @@ let read_file ~path =
       (fun () -> really_input_string ic (in_channel_length ic))
   with
   | text -> of_string text
-  | exception Sys_error msg -> Error msg
+  | exception Sys_error msg -> Error { line = None; message = msg }

@@ -10,12 +10,23 @@
 
 val to_string : Csdfg.t -> string
 
-val of_string : string -> (Csdfg.t, string) result
-(** Parse; the error message carries the offending line number. *)
+type error = { line : int option; message : string }
+(** A parse or I/O failure.  [line] is the 1-based offending line for
+    syntax errors; [None] for whole-graph problems (an edge naming an
+    unknown node, a duplicate label) and for I/O failures. *)
+
+val error_to_string : error -> string
+(** ["line N: msg"] or just ["msg"]. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val of_string : string -> (Csdfg.t, error) result
 
 val of_string_exn : string -> Csdfg.t
 (** @raise Invalid_argument on parse errors. *)
 
 val write_file : path:string -> Csdfg.t -> unit
 
-val read_file : path:string -> (Csdfg.t, string) result
+val read_file : path:string -> (Csdfg.t, error) result
+(** I/O failures (missing file, permissions) surface as an [error]
+    with [line = None], never an exception. *)

@@ -60,7 +60,7 @@ let audit ?(k = 5) sched events =
           Hashtbl.replace starts (node, iter) (t, pe)
       | Events.Stall { node; iter; cause; wait; _ } -> (
           match cause with
-          | Events.Link_busy { link; msg } ->
+          | Events.Link_busy { link; msg } | Events.Link_down { link; msg } ->
               let prev =
                 Option.value ~default:[] (Hashtbl.find_opt link_waits msg)
               in
@@ -74,7 +74,10 @@ let audit ?(k = 5) sched events =
             Option.value ~default:(0, 0) (Hashtbl.find_opt link_busy link)
           in
           Hashtbl.replace link_busy link (b + busy, h + 1)
-      | Events.Instance_finish _ | Events.Msg_deliver _ -> ())
+      | Events.Instance_finish _ | Events.Msg_deliver _ | Events.Msg_retry _
+      | Events.Msg_dropped _ | Events.Pe_fail _ | Events.Link_fail _
+      | Events.Degraded _ ->
+          ())
     events;
   let slip_of node iter =
     match Hashtbl.find_opt starts (node, iter) with
@@ -89,7 +92,8 @@ let audit ?(k = 5) sched events =
       match Hashtbl.find_opt inst_stall (node, iter) with
       | None -> []
       | Some Events.Pe_busy -> [ Processor_busy ]
-      | Some (Events.Link_busy _) -> [] (* never stored for instances *)
+      | Some (Events.Link_busy _ | Events.Link_down _) ->
+          [] (* never stored for instances *)
       | Some (Events.Input_wait { src; msg; _ }) ->
           let src_iter =
             if msg >= 0 then
@@ -225,3 +229,54 @@ let pp ?(label = default_label) ppf a =
               (fst l.link + 1) (snd l.link + 1) l.busy (100. *. l.occupancy)
               l.hops)
         links
+
+(* ------------------------------------------------------------------ *)
+(* Degradation verdict                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type degradation =
+  | Unharmed
+  | Recovered of { period_ratio : float; recovery_latency : int }
+  | Lossy of { drops : int; lost_instances : int }
+  | Unrecoverable of string
+
+let degradation (r : Faults.report) =
+  match r.Faults.replan_error with
+  | Some e -> Unrecoverable e
+  | None ->
+      if r.Faults.failed_pes <> [] || r.Faults.failed_links <> [] then
+        let ratio =
+          if r.Faults.pre_fault_period > 0. && r.Faults.replayed_iterations > 0
+          then r.Faults.post_fault_period /. r.Faults.pre_fault_period
+          else 1.
+        in
+        Recovered
+          {
+            period_ratio = ratio;
+            recovery_latency = r.Faults.recovery_latency;
+          }
+      else if r.Faults.drops > 0 || r.Faults.lost_instances > 0 then
+        Lossy
+          {
+            drops = r.Faults.drops;
+            lost_instances = r.Faults.lost_instances;
+          }
+      else Unharmed
+
+let pp_degradation ppf (r : Faults.report) =
+  Format.fprintf ppf "%a" Faults.pp_report r;
+  match degradation r with
+  | Unharmed ->
+      Format.fprintf ppf
+        "verdict: UNHARMED — every instance ran, nothing was lost@."
+  | Recovered { period_ratio; recovery_latency } ->
+      Format.fprintf ppf
+        "verdict: RECOVERED — degraded mode sustained %.2fx the pre-fault \
+         period after a recovery latency of %d step(s)@."
+        period_ratio recovery_latency
+  | Lossy { drops; lost_instances } ->
+      Format.fprintf ppf
+        "verdict: LOSSY — %d message(s) dropped, %d instance(s) never ran@."
+        drops lost_instances
+  | Unrecoverable e ->
+      Format.fprintf ppf "verdict: UNRECOVERABLE — %s@." e

@@ -69,3 +69,25 @@ val audit : ?k:int -> Cyclo.Schedule.t -> Events.event list -> t
 val pp : ?label:(int -> string) -> Format.formatter -> t -> unit
 (** Human-readable report: conformance summary, the worst offenders
     with their cause chains, and the busiest links. *)
+
+(** {2 Degradation verdict}
+
+    The judgement over a fault run's {!Faults.report}: did the machine
+    survive the scenario, and at what cost? *)
+
+type degradation =
+  | Unharmed  (** no permanent fault, nothing lost *)
+  | Recovered of { period_ratio : float; recovery_latency : int }
+      (** permanent fault survived in degraded mode; [period_ratio] is
+          post-fault over pre-fault period (1.0 when either phase was
+          too short to measure) *)
+  | Lossy of { drops : int; lost_instances : int }
+      (** no permanent fault, but message loss starved instances *)
+  | Unrecoverable of string
+      (** replanning failed — the surviving machine cannot run the
+          graph *)
+
+val degradation : Faults.report -> degradation
+
+val pp_degradation : Format.formatter -> Faults.report -> unit
+(** The full fault report followed by a one-line verdict. *)

@@ -2,6 +2,7 @@ type stall_cause =
   | Input_wait of { src : int; dst : int; msg : int }
   | Link_busy of { link : int * int; msg : int }
   | Pe_busy
+  | Link_down of { link : int * int; msg : int }
 
 type event =
   | Instance_start of { t : int; node : int; iter : int; pe : int }
@@ -33,6 +34,23 @@ type event =
       wait : int;
       cause : stall_cause;
     }
+  | Msg_retry of {
+      t : int;
+      msg : int;
+      link : int * int;
+      attempt : int;
+      backoff : int;
+    }
+  | Msg_dropped of { t : int; msg : int; link : int * int; attempts : int }
+  | Pe_fail of { t : int; pe : int }
+  | Link_fail of { t : int; link : int * int; until : int option }
+  | Degraded of {
+      t : int;
+      survivors : int list;
+      moved : int;
+      migration_cost : int;
+      length : int;
+    }
 
 let time = function
   | Instance_start { t; _ }
@@ -40,7 +58,12 @@ let time = function
   | Msg_send { t; _ }
   | Msg_hop { t; _ }
   | Msg_deliver { t; _ }
-  | Stall { t; _ } ->
+  | Stall { t; _ }
+  | Msg_retry { t; _ }
+  | Msg_dropped { t; _ }
+  | Pe_fail { t; _ }
+  | Link_fail { t; _ }
+  | Degraded { t; _ } ->
       t
 
 type recorder = { mutable items : event list; mutable n : int }
@@ -63,6 +86,12 @@ let hops evs =
 
 let stalls evs =
   List.length (List.filter (function Stall _ -> true | _ -> false) evs)
+
+let retries evs =
+  List.length (List.filter (function Msg_retry _ -> true | _ -> false) evs)
+
+let drops evs =
+  List.length (List.filter (function Msg_dropped _ -> true | _ -> false) evs)
 
 (* ------------------------------------------------------------------ *)
 (* JSONL                                                               *)
@@ -106,11 +135,39 @@ let add_line buf ev =
             Printf.sprintf {|"cause":"link_busy","a":%d,"b":%d,"msg":%d|} a b
               msg
         | Pe_busy -> {|"cause":"pe_busy"|}
+        | Link_down { link = a, b; msg } ->
+            Printf.sprintf {|"cause":"link_down","a":%d,"b":%d,"msg":%d|} a b
+              msg
       in
       Buffer.add_string buf
         (Printf.sprintf
            {|{"ev":"stall","t":%d,"node":%d,"iter":%d,"pe":%d,"wait":%d,%s}|}
-           t node iter pe wait cause_fields));
+           t node iter pe wait cause_fields)
+  | Msg_retry { t; msg; link = a, b; attempt; backoff } ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|{"ev":"msg_retry","t":%d,"msg":%d,"a":%d,"b":%d,"attempt":%d,"backoff":%d}|}
+           t msg a b attempt backoff)
+  | Msg_dropped { t; msg; link = a, b; attempts } ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|{"ev":"msg_dropped","t":%d,"msg":%d,"a":%d,"b":%d,"attempts":%d}|}
+           t msg a b attempts)
+  | Pe_fail { t; pe } ->
+      Buffer.add_string buf
+        (Printf.sprintf {|{"ev":"pe_fail","t":%d,"pe":%d}|} t pe)
+  | Link_fail { t; link = a, b; until } ->
+      Buffer.add_string buf
+        (Printf.sprintf {|{"ev":"link_fail","t":%d,"a":%d,"b":%d,"until":%d}|}
+           t a b
+           (Option.value ~default:(-1) until))
+  | Degraded { t; survivors; moved; migration_cost; length } ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           {|{"ev":"degraded","t":%d,"survivors":[%s],"moved":%d,"migration_cost":%d,"length":%d}|}
+           t
+           (String.concat "," (List.map string_of_int survivors))
+           moved migration_cost length));
   Buffer.add_char buf '\n'
 
 let to_jsonl evs =
@@ -118,7 +175,7 @@ let to_jsonl evs =
   let buf = Buffer.create (4096 + (64 * List.length evs)) in
   Buffer.add_string buf
     (Printf.sprintf
-       {|{"schema":"ccsched-sim-events/1","events":%d}|}
+       {|{"schema":"ccsched-sim-events/2","events":%d}|}
        (List.length evs));
   Buffer.add_char buf '\n';
   List.iter (add_line buf) evs;
@@ -162,4 +219,32 @@ let pp_event ?(label = default_label) ppf = function
       | Pe_busy ->
           Format.fprintf ppf
             "t=%d stall %s#%d on pe%d: processor busy, slip %d" t (label node)
-            iter (pe + 1) wait)
+            iter (pe + 1) wait
+      | Link_down { link = a, b; msg } ->
+          Format.fprintf ppf
+            "t=%d stall m%d for %s#%d: link pe%d -- pe%d down for %d" t msg
+            (label node) iter (a + 1) (b + 1) wait)
+  | Msg_retry { t; msg; link = a, b; attempt; backoff } ->
+      Format.fprintf ppf
+        "t=%d retry m%d on pe%d -> pe%d (attempt %d, backoff %d)" t msg (a + 1)
+        (b + 1) attempt backoff
+  | Msg_dropped { t; msg; link = a, b; attempts } ->
+      Format.fprintf ppf "t=%d drop m%d on pe%d -> pe%d after %d attempts" t
+        msg (a + 1) (b + 1) attempts
+  | Pe_fail { t; pe } ->
+      Format.fprintf ppf "t=%d FAIL pe%d (fail-stop)" t (pe + 1)
+  | Link_fail { t; link = a, b; until } -> (
+      match until with
+      | None -> Format.fprintf ppf "t=%d FAIL link pe%d -- pe%d" t (a + 1) (b + 1)
+      | Some u ->
+          Format.fprintf ppf "t=%d link pe%d -- pe%d down until %d" t (a + 1)
+            (b + 1) u)
+  | Degraded { t; survivors; moved; migration_cost; length } ->
+      Format.fprintf ppf
+        "t=%d DEGRADED: resume on %d pes (%s), %d nodes moved, migration \
+         cost %d, table length %d"
+        t
+        (List.length survivors)
+        (String.concat " "
+           (List.map (fun p -> "pe" ^ string_of_int (p + 1)) survivors))
+        moved migration_cost length

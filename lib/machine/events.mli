@@ -25,6 +25,9 @@ type stall_cause =
       (** message [msg] queued behind (or, under wormhole, waited for)
           the directed physical link [link] *)
   | Pe_busy  (** inputs were ready but the processor was still running *)
+  | Link_down of { link : int * int; msg : int }
+      (** message [msg] reached a link inside an injected outage window
+          and waits for it to reopen (fault runs only) *)
 
 type event =
   | Instance_start of { t : int; node : int; iter : int; pe : int }
@@ -63,10 +66,30 @@ type event =
       pe : int;
       wait : int;
           (** for instance stalls ({!Input_wait} / {!Pe_busy}): the slip
-              vs the static promise [CB + k*L]; for {!Link_busy}: the
-              time spent waiting for the link *)
+              vs the static promise [CB + k*L]; for {!Link_busy} /
+              {!Link_down}: the time spent waiting for the link *)
       cause : stall_cause;
     }
+  | Msg_retry of {
+      t : int;
+      msg : int;
+      link : int * int;
+      attempt : int;  (** 1-based failed-attempt count on this hop *)
+      backoff : int;  (** control steps until the retry *)
+    }  (** a transmission was lost on a lossy link and will be retried *)
+  | Msg_dropped of { t : int; msg : int; link : int * int; attempts : int }
+      (** the per-hop retry bound was exhausted; the message is gone and
+          its consumer instance will never run *)
+  | Pe_fail of { t : int; pe : int }  (** injected fail-stop *)
+  | Link_fail of { t : int; link : int * int; until : int option }
+      (** injected link outage; [None] = permanent *)
+  | Degraded of {
+      t : int;  (** degraded-mode resume time *)
+      survivors : int list;  (** original processor ids still alive *)
+      moved : int;  (** nodes remapped off their original processor *)
+      migration_cost : int;
+      length : int;  (** degraded schedule's table length *)
+    }  (** the run switched to the degraded schedule *)
 
 val time : event -> int
 
@@ -94,17 +117,23 @@ val by_time : event list -> event list
 val deliveries : event list -> int
 val hops : event list -> int
 val stalls : event list -> int
+val retries : event list -> int
+val drops : event list -> int
 
 (** {2 Export} *)
 
 val to_jsonl : event list -> string
 (** One JSON object per line.  The first line is a header
-    [{"schema": "ccsched-sim-events/1", "events": N}]; every following
+    [{"schema": "ccsched-sim-events/2", "events": N}]; every following
     line carries an ["ev"] discriminator
     ([instance_start], [instance_finish], [msg_send], [msg_hop],
-    [msg_deliver], [stall]) plus the event's fields under the names
+    [msg_deliver], [stall], [msg_retry], [msg_dropped], [pe_fail],
+    [link_fail], [degraded]) plus the event's fields under the names
     used above (links and edges flattened to ["a"]/["b"] and
-    ["src"]/["dst"]).  Events are emitted in {!by_time} order. *)
+    ["src"]/["dst"]; a permanent outage's ["until"] is [-1]).  Events
+    are emitted in {!by_time} order.  Schema /2 extends /1 with the
+    fault-run kinds and the [link_down] stall cause; fault-free streams
+    differ from /1 only in the header. *)
 
 val pp_event :
   ?label:(int -> string) -> Format.formatter -> event -> unit

@@ -17,6 +17,7 @@ type stats = {
   busy : int array;
   per_pe_utilization : float array;
   utilization : float;
+  faults : Faults.report option;
 }
 
 (* A message in flight: the data of one cross-processor edge delivery,
@@ -29,6 +30,8 @@ type message = {
   sent_at : int;
   mutable queued_at : int;  (* when it last joined a link queue *)
   mutable remaining : int list;  (* nodes still to visit (head = current) *)
+  mutable attempts : int;  (* failed transmissions of the current hop *)
+  mutable xmit : int;  (* lifetime transmission count (loss-draw index) *)
 }
 
 type link_state = {
@@ -41,6 +44,7 @@ type event =
   | Complete of int  (* instance index *)
   | Hop_done of message  (* message finished occupying a link *)
   | Deliver of message  (* contention-free arrival *)
+  | Hop_attempt of message  (* fault mode: (re)try the current hop *)
 
 let static_bound sched ~iterations =
   let dfg = Schedule.dfg sched in
@@ -55,12 +59,17 @@ let c_hops = Obs.Counters.counter "simulator.message_hops"
 let c_events = Obs.Counters.counter "simulator.events"
 let c_stalls = Obs.Counters.counter "simulator.stalls"
 let g_backlog = Obs.Counters.counter "simulator.max_link_backlog"
+let c_retries = Obs.Counters.counter "simulator.msg_retries"
+let c_drops = Obs.Counters.counter "simulator.msg_drops"
 let h_latency = Obs.Histogram.histogram "simulator.msg_latency"
 let h_backlog = Obs.Histogram.histogram "simulator.link_backlog"
 let h_slip = Obs.Histogram.histogram "simulator.instance_slip"
+let h_retry_backoff = Obs.Histogram.histogram "simulator.retry_backoff"
 
-let execute ?(policy = Contention_free) ?(transport = Store_and_forward)
-    ?recorder sched topo ~iterations =
+(* The fault-free path.  Kept exactly as it always was — fault support
+   lives in [execute_faulty] below, so a run without [?faults] is
+   byte-identical to earlier releases (pinned by test). *)
+let execute_clean ~policy ~transport ~recorder sched topo ~iterations =
   if iterations < 1 then invalid_arg "Simulator.execute: iterations < 1";
   Obs.Trace.with_span "simulator.execute"
     ~args:
@@ -386,6 +395,8 @@ let execute ?(policy = Contention_free) ?(transport = Store_and_forward)
                 sent_at = now;
                 queued_at = now;
                 remaining = Topology.route topo ~src:p ~dst:q;
+                attempts = 0;
+                xmit = 0;
               }
             in
             emit
@@ -461,7 +472,8 @@ let execute ?(policy = Contention_free) ?(transport = Store_and_forward)
         (match ev with
         | Complete inst -> on_complete inst t
         | Hop_done msg -> on_hop_done msg t
-        | Deliver msg -> deliver msg t);
+        | Deliver msg -> deliver msg t
+        | Hop_attempt _ -> assert false (* fault mode only *));
         drain ()
   in
   drain ();
@@ -512,7 +524,793 @@ let execute ?(policy = Contention_free) ?(transport = Store_and_forward)
     utilization =
       (if !makespan = 0 then 0.
        else float_of_int total_busy /. float_of_int (np * !makespan));
+    faults = None;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Fault-injected execution                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Links are undirected in fault scenarios. *)
+let canon (a, b) = if a <= b then (a, b) else (b, a)
+
+(* What one phase of a fault run knows about its environment.
+   Processor ids are in the {e phase} numbering (phase 2 runs on the
+   renumbered degraded machine); [f_pe] translates back to the original
+   machine for every emitted event. *)
+type fault_phase = {
+  f_seed : int;
+  f_max_retries : int;
+  f_backoff : int;
+  f_dead : int array;  (* phase pe -> death time, [max_int] = alive *)
+  f_halt : int;  (* survivors stop starting instances here *)
+  f_windows : ((int * int) * (int * int option)) list;
+      (* canonical phase link -> (from, until); [None] = forever *)
+  f_loss : int * int -> float;  (* canonical phase link -> loss prob *)
+  f_pe : int array;  (* phase pe -> original pe *)
+  f_iter0 : int;  (* global iteration of this phase's iteration 0 *)
+  f_retries : int ref;
+  f_drops : int ref;
+  f_parked : int ref;  (* messages that can never be delivered *)
+  f_delivered : int ref;
+}
+
+type link_condition = Up | Down_until of int | Down_forever
+
+let link_state_at fp lk now =
+  List.fold_left
+    (fun acc (l, (from_t, until)) ->
+      if l <> lk || from_t > now then acc
+      else
+        match (acc, until) with
+        | Down_forever, _ | _, None -> Down_forever
+        | Down_until u, Some u' -> if u' > now then Down_until (max u u') else acc
+        | Up, Some u' -> if u' > now then Down_until u' else acc)
+    Up fp.f_windows
+
+type phase_result = {
+  r_completion : int array;  (* per instance, [-1] = never ran *)
+  r_makespan : int;
+  r_busy : int array;  (* phase pe numbering *)
+  r_messages : int;
+  r_hops : int;
+  r_backlog : int;
+}
+
+(* One self-timed phase under a fault environment.  Mirrors the clean
+   event loop, with three differences: the clock starts at [t0] (phase
+   2 resumes where recovery left off), transport is store-and-forward
+   stepped hop by hop even under [Contention_free] (so outage windows
+   and loss draws apply per hop — with no active fault the per-hop
+   times sum to the analytic transit, so timing is unchanged), and
+   nothing deadlocks: an instance whose inputs never arrive is simply
+   never started and reported lost. *)
+let run_phase ~policy ~emit ~fp sched topo ~iterations ~t0 ~msg_base =
+  let np = Topology.n_processors topo in
+  let dfg = Schedule.dfg sched in
+  let n = Csdfg.n_nodes dfg in
+  let n_inst = n * iterations in
+  let idx v i = (i * n) + v in
+  let node_of inst = inst mod n in
+  let iter_of inst = inst / n in
+  let g_iter inst = iter_of inst + fp.f_iter0 in
+  let o_pe p = fp.f_pe.(p) in
+  let o_link (a, b) = (o_pe a, o_pe b) in
+  let len = Schedule.length sched in
+  let cb0 = Array.init n (fun v -> Schedule.cb sched v - 1) in
+  let static_start inst = t0 + (iter_of inst * len) + cb0.(node_of inst) in
+  let order = Array.make np [] in
+  for i = iterations - 1 downto 0 do
+    List.iter
+      (fun v ->
+        let p = Schedule.pe sched v in
+        order.(p) <- idx v i :: order.(p))
+      (List.sort
+         (fun a b ->
+           match compare (Schedule.cb sched b) (Schedule.cb sched a) with
+           | 0 -> compare b a
+           | c -> c)
+         (Csdfg.nodes dfg))
+  done;
+  let queue = Array.map Array.of_list order in
+  let head = Array.make np 0 in
+  let pe_free = Array.make np t0 in
+  let missing = Array.make n_inst 0 in
+  let ready_at = Array.make n_inst t0 in
+  let last_src = Array.make n_inst (-1) in
+  let last_msg = Array.make n_inst (-1) in
+  List.iter
+    (fun (e : Csdfg.attr G.edge) ->
+      for i = 0 to iterations - 1 do
+        (* inputs from before this phase's first iteration live in the
+           recovery checkpoint and are available at [t0] *)
+        if i - Csdfg.delay e >= 0 then
+          missing.(idx e.G.dst i) <- missing.(idx e.G.dst i) + 1
+      done)
+    (Csdfg.edges dfg);
+  let links = Hashtbl.create 64 in
+  let link a b =
+    let key = (a * np) + b in
+    match Hashtbl.find_opt links key with
+    | Some l -> l
+    | None ->
+        let l = { free_at = t0; waiting = Queue.create (); backlog_peak = 0 } in
+        Hashtbl.add links key l;
+        l
+  in
+  let events = ref Digraph.Pqueue.empty in
+  let push t ev = events := Digraph.Pqueue.insert !events t ev in
+  let completion = Array.make n_inst (-1) in
+  let makespan = ref 0 in
+  let message_count = ref 0 in
+  let hop_count = ref 0 in
+  let busy = Array.make np 0 in
+  let hop_time a b volume = Topology.hops topo a b * volume in
+  let rec try_start p now =
+    if head.(p) < Array.length queue.(p) then begin
+      let inst = queue.(p).(head.(p)) in
+      if missing.(inst) = 0 then begin
+        let v = node_of inst in
+        let dur = Schedule.duration sched ~node:v ~pe:p in
+        let prev_free = pe_free.(p) in
+        let start = max now (max ready_at.(inst) prev_free) in
+        let finish = start + dur in
+        (* fail-stop: the instance runs only when it can finish before
+           the processor dies; halt: survivors freeze for recovery *)
+        if start >= fp.f_halt || finish > fp.f_dead.(p) then ()
+        else begin
+          pe_free.(p) <- finish;
+          busy.(p) <- busy.(p) + dur;
+          head.(p) <- head.(p) + 1;
+          completion.(inst) <- finish;
+          let slip = start - static_start inst in
+          Obs.Histogram.observe h_slip (max 0 slip);
+          emit
+            (Events.Instance_start
+               { t = start; node = v; iter = g_iter inst; pe = o_pe p });
+          if slip > 0 then begin
+            Obs.Counters.incr c_stalls;
+            let cause =
+              if prev_free >= start && ready_at.(inst) < start then
+                Events.Pe_busy
+              else if last_src.(inst) >= 0 then
+                Events.Input_wait
+                  { src = last_src.(inst); dst = v; msg = last_msg.(inst) }
+              else Events.Pe_busy
+            in
+            emit
+              (Events.Stall
+                 {
+                   t = start;
+                   node = v;
+                   iter = g_iter inst;
+                   pe = o_pe p;
+                   wait = slip;
+                   cause;
+                 })
+          end;
+          push finish (Complete inst);
+          try_start p now
+        end
+      end
+    end
+  in
+  let arrive ~src ~msg inst t =
+    missing.(inst) <- missing.(inst) - 1;
+    if t >= ready_at.(inst) then begin
+      ready_at.(inst) <- t;
+      last_src.(inst) <- src;
+      last_msg.(inst) <- msg
+    end;
+    if missing.(inst) = 0 then
+      try_start (Schedule.pe sched (node_of inst)) t
+  in
+  let deliver msg now =
+    emit
+      (Events.Msg_deliver
+         {
+           t = now;
+           msg = msg.id;
+           node = node_of msg.target;
+           iter = g_iter msg.target;
+           latency = now - msg.sent_at;
+         });
+    Obs.Histogram.observe h_latency (now - msg.sent_at);
+    incr fp.f_delivered;
+    arrive ~src:msg.src_node ~msg:msg.id msg.target now
+  in
+  (* Try to put the message's current hop on the wire: park it when an
+     endpoint is dead or the link is cut forever, wait out transient
+     outages, draw for loss (deterministic in (seed, msg, xmit)) with
+     bounded exponential-backoff retries, queue under FIFO contention. *)
+  let attempt_hop msg now =
+    match msg.remaining with
+    | a :: b :: _ ->
+        if fp.f_dead.(a) <= now || fp.f_dead.(b) <= now then
+          incr fp.f_parked
+        else begin
+          let lk = canon (a, b) in
+          match link_state_at fp lk now with
+          | Down_forever -> incr fp.f_parked
+          | Down_until u ->
+              Obs.Counters.incr c_stalls;
+              emit
+                (Events.Stall
+                   {
+                     t = u;
+                     node = node_of msg.target;
+                     iter = g_iter msg.target;
+                     pe = o_pe (Schedule.pe sched (node_of msg.target));
+                     wait = u - now;
+                     cause =
+                       Events.Link_down { link = o_link (a, b); msg = msg.id };
+                   });
+              push u (Hop_attempt msg)
+          | Up -> (
+              match policy with
+              | Fifo_links when (link a b).free_at > now ->
+                  let l = link a b in
+                  msg.queued_at <- now;
+                  Obs.Counters.incr c_stalls;
+                  Queue.add msg l.waiting;
+                  l.backlog_peak <- max l.backlog_peak (Queue.length l.waiting);
+                  Obs.Histogram.observe h_backlog (Queue.length l.waiting)
+              | Fifo_links | Contention_free ->
+                  msg.xmit <- msg.xmit + 1;
+                  let p = fp.f_loss lk in
+                  if Faults.lost ~seed:fp.f_seed ~msg:msg.id ~xmit:msg.xmit p
+                  then begin
+                    msg.attempts <- msg.attempts + 1;
+                    if msg.attempts > fp.f_max_retries then begin
+                      incr fp.f_drops;
+                      Obs.Counters.incr c_drops;
+                      emit
+                        (Events.Msg_dropped
+                           {
+                             t = now;
+                             msg = msg.id;
+                             link = o_link (a, b);
+                             attempts = msg.attempts;
+                           })
+                    end
+                    else begin
+                      let backoff =
+                        fp.f_backoff * (1 lsl min 20 (msg.attempts - 1))
+                      in
+                      incr fp.f_retries;
+                      Obs.Counters.incr c_retries;
+                      Obs.Histogram.observe h_retry_backoff backoff;
+                      emit
+                        (Events.Msg_retry
+                           {
+                             t = now;
+                             msg = msg.id;
+                             link = o_link (a, b);
+                             attempt = msg.attempts;
+                             backoff;
+                           });
+                      push (now + backoff) (Hop_attempt msg)
+                    end
+                  end
+                  else begin
+                    let dt = hop_time a b msg.volume in
+                    (match policy with
+                    | Fifo_links -> (link a b).free_at <- now + dt
+                    | Contention_free -> ());
+                    hop_count := !hop_count + 1;
+                    push (now + dt) (Hop_done msg)
+                  end)
+        end
+    | _ -> assert false
+  in
+  (* Admit queued waiters while the link stays free: a waiter that
+     loses its draw (or hits an outage) leaves the link idle, so keep
+     popping — otherwise messages strand behind it forever. *)
+  let rec admit l lk now =
+    if l.free_at <= now then
+      match Queue.take_opt l.waiting with
+      | Some w ->
+          emit
+            (Events.Stall
+               {
+                 t = now;
+                 node = node_of w.target;
+                 iter = g_iter w.target;
+                 pe = o_pe (Schedule.pe sched (node_of w.target));
+                 wait = now - w.queued_at;
+                 cause = Events.Link_busy { link = o_link lk; msg = w.id };
+               });
+          attempt_hop w now;
+          admit l lk now
+      | None -> ()
+  in
+  let on_hop_done msg now =
+    match msg.remaining with
+    | prev :: (next :: _ as rest) -> (
+        emit
+          (Events.Msg_hop
+             {
+               t = now;
+               msg = msg.id;
+               link = o_link (prev, next);
+               busy = hop_time prev next msg.volume;
+             });
+        msg.attempts <- 0;
+        (match policy with
+        | Fifo_links -> admit (link prev next) (prev, next) now
+        | Contention_free -> ());
+        msg.remaining <- rest;
+        match rest with
+        | [ _ ] -> deliver msg now
+        | _ -> attempt_hop msg now)
+    | _ -> assert false
+  in
+  let on_complete inst now =
+    if now > !makespan then makespan := now;
+    let u = node_of inst and i = iter_of inst in
+    let p = Schedule.pe sched u in
+    emit
+      (Events.Instance_finish { t = now; node = u; iter = g_iter inst; pe = o_pe p });
+    List.iter
+      (fun (e : Csdfg.attr G.edge) ->
+        let j = i + Csdfg.delay e in
+        if j < iterations then begin
+          let w = e.G.dst in
+          let q = Schedule.pe sched w in
+          if q = p then arrive ~src:u ~msg:(-1) (idx w j) now
+          else begin
+            let id = msg_base + !message_count in
+            incr message_count;
+            let msg =
+              {
+                id;
+                volume = Csdfg.volume e;
+                src_node = u;
+                target = idx w j;
+                sent_at = now;
+                queued_at = now;
+                remaining = Topology.route topo ~src:p ~dst:q;
+                attempts = 0;
+                xmit = 0;
+              }
+            in
+            emit
+              (Events.Msg_send
+                 {
+                   t = now;
+                   msg = id;
+                   src = u;
+                   dst = w;
+                   src_iter = g_iter inst;
+                   dst_iter = j + fp.f_iter0;
+                   from_pe = o_pe p;
+                   to_pe = o_pe q;
+                   volume = msg.volume;
+                 });
+            attempt_hop msg now
+          end
+        end)
+      (Csdfg.succ dfg u);
+    try_start p now
+  in
+  for p = 0 to np - 1 do
+    try_start p t0
+  done;
+  let rec drain () =
+    match Digraph.Pqueue.pop !events with
+    | None -> ()
+    | Some ((t, ev), rest) ->
+        events := rest;
+        Obs.Counters.incr c_events;
+        (match ev with
+        | Complete inst -> on_complete inst t
+        | Hop_done msg -> on_hop_done msg t
+        | Deliver msg -> deliver msg t
+        | Hop_attempt msg -> attempt_hop msg t);
+        drain ()
+  in
+  drain ();
+  (* No deadlock check here: under faults, unstarted instances are the
+     measurement (lost work), not a bug. *)
+  {
+    r_completion = completion;
+    r_makespan = !makespan;
+    r_busy = busy;
+    r_messages = !message_count;
+    r_hops = !hop_count;
+    r_backlog = Hashtbl.fold (fun _ l acc -> max acc l.backlog_peak) links 0;
+  }
+
+(* Completion time of each iteration's last instance. *)
+let iteration_done_of completion ~n ~iterations =
+  let d = Array.make iterations 0 in
+  Array.iteri
+    (fun inst c ->
+      let i = inst / n in
+      if c > d.(i) then d.(i) <- c)
+    completion;
+  d
+
+(* Longest prefix of fully completed iterations — the checkpoint. *)
+let completed_prefix completion ~n ~iterations =
+  let k = ref 0 in
+  (try
+     for i = 0 to iterations - 1 do
+       for v = 0 to n - 1 do
+         if completion.((i * n) + v) < 0 then raise Exit
+       done;
+       incr k
+     done
+   with Exit -> ());
+  !k
+
+(* The clean simulator's asymptotic period: measured over the second
+   half of the run to skip pipeline fill. *)
+let steady_period done_arr ~iterations ~makespan =
+  if iterations = 1 then float_of_int makespan
+  else begin
+    let lo = iterations / 2 in
+    if lo = iterations - 1 then
+      float_of_int done_arr.(iterations - 1) /. float_of_int iterations
+    else
+      float_of_int (done_arr.(iterations - 1) - done_arr.(lo))
+      /. float_of_int (iterations - 1 - lo)
+  end
+
+(* Period over the first [count] entries of [done_arr], a run that
+   began at [t_start] — used for the pre- and post-fault phases, which
+   rarely span the whole horizon. *)
+let measured_period done_arr ~count ~t_start =
+  if count <= 0 then 0.
+  else if count = 1 then float_of_int (done_arr.(0) - t_start)
+  else begin
+    let lo = count / 2 in
+    if lo = count - 1 then
+      float_of_int (done_arr.(count - 1) - t_start) /. float_of_int count
+    else
+      float_of_int (done_arr.(count - 1) - done_arr.(lo))
+      /. float_of_int (count - 1 - lo)
+  end
+
+let execute_faulty ~policy ~transport ~recorder ~(armed : Faults.armed) sched
+    topo ~iterations =
+  if iterations < 1 then invalid_arg "Simulator.execute: iterations < 1";
+  if transport = Wormhole then
+    invalid_arg "Simulator.execute: faults require store-and-forward transport";
+  if not (Schedule.assigned_all sched) then
+    invalid_arg "Simulator.execute: schedule has unassigned nodes";
+  let np = Topology.n_processors topo in
+  if np <> Schedule.n_processors sched then
+    invalid_arg "Simulator.execute: topology size mismatch";
+  let scen = armed.Faults.scenario in
+  let seed = armed.Faults.seed in
+  (match Faults.validate scen topo with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Simulator.execute: " ^ m));
+  Obs.Trace.with_span "simulator.execute"
+    ~args:
+      [
+        ("iterations", string_of_int iterations);
+        ( "policy",
+          match policy with
+          | Contention_free -> "contention-free"
+          | Fifo_links -> "fifo-links" );
+        ("transport", "store-and-forward");
+        ("faults", scen.Faults.name);
+        ("seed", string_of_int seed);
+      ]
+  @@ fun () ->
+  let emit ev =
+    match recorder with None -> () | Some r -> Events.record r ev
+  in
+  let dfg = Schedule.dfg sched in
+  let n = Csdfg.n_nodes dfg in
+  (* Decompose the scenario. *)
+  let fail_stops =
+    List.filter_map
+      (function Faults.Pe_fail_stop { pe; at } -> Some (pe, at) | _ -> None)
+      scen.Faults.faults
+  in
+  let windows =
+    List.filter_map
+      (function
+        | Faults.Link_down { a; b; from_t; until } ->
+            Some (canon (a, b), (from_t, until))
+        | _ -> None)
+      scen.Faults.faults
+  in
+  let lossy =
+    List.filter_map
+      (function
+        | Faults.Link_lossy { a; b; loss } -> Some (canon (a, b), loss)
+        | _ -> None)
+      scen.Faults.faults
+  in
+  let loss_over table lk =
+    List.fold_left (fun acc (l, p) -> if l = lk then max acc p else acc) 0. table
+  in
+  let failed_pes = List.sort_uniq compare (List.map fst fail_stops) in
+  let failed_links =
+    List.sort_uniq compare
+      (List.filter_map
+         (function lk, (_, None) -> Some lk | _ -> None)
+         windows)
+  in
+  let perm_times =
+    List.map snd fail_stops
+    @ List.filter_map (function _, (ft, None) -> Some ft | _ -> None) windows
+  in
+  let t_fault =
+    match perm_times with [] -> None | l -> Some (List.fold_left min max_int l)
+  in
+  let halt =
+    match t_fault with
+    | None -> max_int
+    | Some t -> t + scen.Faults.detect_delay
+  in
+  (* The injected faults are part of the record. *)
+  List.iter
+    (function
+      | Faults.Pe_fail_stop { pe; at } -> emit (Events.Pe_fail { t = at; pe })
+      | Faults.Link_down { a; b; from_t; until } ->
+          emit (Events.Link_fail { t = from_t; link = (a, b); until })
+      | Faults.Link_lossy _ -> ())
+    scen.Faults.faults;
+  let dead = Array.make np max_int in
+  List.iter (fun (pe, at) -> if at < dead.(pe) then dead.(pe) <- at) fail_stops;
+  let fp1 =
+    {
+      f_seed = seed;
+      f_max_retries = scen.Faults.max_retries;
+      f_backoff = scen.Faults.backoff_base;
+      f_dead = dead;
+      f_halt = halt;
+      f_windows = windows;
+      f_loss = loss_over lossy;
+      f_pe = Array.init np (fun p -> p);
+      f_iter0 = 0;
+      f_retries = ref 0;
+      f_drops = ref 0;
+      f_parked = ref 0;
+      f_delivered = ref 0;
+    }
+  in
+  let r1 = run_phase ~policy ~emit ~fp:fp1 sched topo ~iterations ~t0:0 ~msg_base:0 in
+  let k0 = completed_prefix r1.r_completion ~n ~iterations in
+  let done1 = iteration_done_of r1.r_completion ~n ~iterations in
+  let pre_fault_period =
+    if k0 = 0 then float_of_int (Schedule.length sched)
+    else measured_period done1 ~count:k0 ~t_start:0
+  in
+  let finish ~report ~makespan ~average_period ~messages ~hops ~backlog busy =
+    Obs.Counters.incr c_messages ~by:messages;
+    Obs.Counters.incr c_hops ~by:hops;
+    Obs.Counters.set g_backlog backlog;
+    let total_busy = Array.fold_left ( + ) 0 busy in
+    {
+      policy;
+      transport;
+      iterations;
+      makespan;
+      average_period;
+      messages;
+      message_hops = hops;
+      max_link_backlog = backlog;
+      busy = Array.copy busy;
+      per_pe_utilization =
+        Array.map
+          (fun b ->
+            if makespan = 0 then 0.
+            else float_of_int b /. float_of_int makespan)
+          busy;
+      utilization =
+        (if makespan = 0 then 0.
+         else float_of_int total_busy /. float_of_int (np * makespan));
+      faults = Some report;
+    }
+  in
+  let lost_in completion =
+    Array.fold_left (fun acc c -> if c < 0 then acc + 1 else acc) 0 completion
+  in
+  let single_phase ~failed_pes ~failed_links ~fault_time ~replan_error =
+    let report =
+      {
+        Faults.scenario_name = scen.Faults.name;
+        seed;
+        failed_pes;
+        failed_links;
+        fault_time;
+        surviving_pes = np - List.length failed_pes;
+        retries = !(fp1.f_retries);
+        drops = !(fp1.f_drops);
+        undelivered = r1.r_messages - !(fp1.f_delivered);
+        lost_instances = lost_in r1.r_completion;
+        completed_iterations = k0;
+        replayed_iterations = 0;
+        pre_fault_period;
+        post_fault_period = 0.;
+        migration_cost = 0;
+        moved_nodes = 0;
+        recovery_latency = 0;
+        degraded_length = None;
+        replan_error;
+      }
+    in
+    let average_period =
+      if k0 = iterations then
+        steady_period done1 ~iterations ~makespan:r1.r_makespan
+      else pre_fault_period
+    in
+    finish ~report ~makespan:r1.r_makespan ~average_period
+      ~messages:r1.r_messages ~hops:r1.r_hops ~backlog:r1.r_backlog r1.r_busy
+  in
+  match t_fault with
+  | None ->
+      (* transient/lossy only: one phase, nothing to replan *)
+      single_phase ~failed_pes:[] ~failed_links:[] ~fault_time:None
+        ~replan_error:None
+  | Some t0_fault -> (
+      match Cyclo.Degrade.replan sched topo ~failed_pes ~failed_links with
+      | Error e ->
+          single_phase ~failed_pes ~failed_links ~fault_time:(Some t0_fault)
+            ~replan_error:(Some e)
+      | Ok plan ->
+          let len2 = Schedule.length plan.Cyclo.Degrade.schedule in
+          let np2 = Array.length plan.Cyclo.Degrade.surviving in
+          if k0 >= iterations then begin
+            (* the fault landed after the workload was done: the machine
+               degrades, but nothing needed replaying *)
+            let report =
+              {
+                Faults.scenario_name = scen.Faults.name;
+                seed;
+                failed_pes;
+                failed_links;
+                fault_time = Some t0_fault;
+                surviving_pes = np2;
+                retries = !(fp1.f_retries);
+                drops = !(fp1.f_drops);
+                undelivered = r1.r_messages - !(fp1.f_delivered);
+                lost_instances = lost_in r1.r_completion;
+                completed_iterations = k0;
+                replayed_iterations = 0;
+                pre_fault_period;
+                post_fault_period = 0.;
+                migration_cost = 0;
+                moved_nodes = 0;
+                recovery_latency = 0;
+                degraded_length = Some len2;
+                replan_error = None;
+              }
+            in
+            finish ~report ~makespan:r1.r_makespan
+              ~average_period:
+                (steady_period done1 ~iterations ~makespan:r1.r_makespan)
+              ~messages:r1.r_messages ~hops:r1.r_hops ~backlog:r1.r_backlog
+              r1.r_busy
+          end
+          else begin
+            (* two-phase recovery: drain, detect, migrate state, resume
+               the degraded schedule at the checkpointed iteration *)
+            let resume =
+              max halt r1.r_makespan + plan.Cyclo.Degrade.migration_cost
+            in
+            let recovery_latency = resume - t0_fault in
+            emit
+              (Events.Degraded
+                 {
+                   t = resume;
+                   survivors = Array.to_list plan.Cyclo.Degrade.surviving;
+                   moved = List.length plan.Cyclo.Degrade.moved;
+                   migration_cost = plan.Cyclo.Degrade.migration_cost;
+                   length = len2;
+                 });
+            let of_o = plan.Cyclo.Degrade.of_original in
+            let tr_link (a, b) =
+              if
+                a < Array.length of_o
+                && b < Array.length of_o
+                && of_o.(a) >= 0
+                && of_o.(b) >= 0
+              then Some (canon (of_o.(a), of_o.(b)))
+              else None
+            in
+            let windows2 =
+              List.filter_map
+                (fun (lk, (ft, until)) ->
+                  match until with
+                  | None -> None (* cut links are gone from the machine *)
+                  | Some _ ->
+                      Option.map (fun lk' -> (lk', (ft, until))) (tr_link lk))
+                windows
+            in
+            let lossy2 =
+              List.filter_map
+                (fun (lk, p) -> Option.map (fun lk' -> (lk', p)) (tr_link lk))
+                lossy
+            in
+            let fp2 =
+              {
+                f_seed = seed;
+                f_max_retries = scen.Faults.max_retries;
+                f_backoff = scen.Faults.backoff_base;
+                f_dead = Array.make np2 max_int;
+                f_halt = max_int;
+                f_windows = windows2;
+                f_loss = loss_over lossy2;
+                f_pe = plan.Cyclo.Degrade.surviving;
+                f_iter0 = k0;
+                f_retries = ref 0;
+                f_drops = ref 0;
+                f_parked = ref 0;
+                f_delivered = ref 0;
+              }
+            in
+            let iters2 = iterations - k0 in
+            let r2 =
+              run_phase ~policy ~emit ~fp:fp2 plan.Cyclo.Degrade.schedule
+                plan.Cyclo.Degrade.topology ~iterations:iters2 ~t0:resume
+                ~msg_base:r1.r_messages
+            in
+            let done2 = iteration_done_of r2.r_completion ~n ~iterations:iters2 in
+            let k2 = completed_prefix r2.r_completion ~n ~iterations:iters2 in
+            let post_fault_period =
+              if k2 = 0 then float_of_int len2
+              else measured_period done2 ~count:k2 ~t_start:resume
+            in
+            let makespan = max r1.r_makespan r2.r_makespan in
+            let busy = Array.copy r1.r_busy in
+            Array.iteri
+              (fun p2 b ->
+                let p = plan.Cyclo.Degrade.surviving.(p2) in
+                busy.(p) <- busy.(p) + b)
+              r2.r_busy;
+            let done_all = Array.make iterations 0 in
+            Array.blit done1 0 done_all 0 k0;
+            Array.blit done2 0 done_all k0 iters2;
+            let average_period =
+              if k2 = iters2 then steady_period done_all ~iterations ~makespan
+              else if post_fault_period > 0. then post_fault_period
+              else pre_fault_period
+            in
+            let report =
+              {
+                Faults.scenario_name = scen.Faults.name;
+                seed;
+                failed_pes;
+                failed_links;
+                fault_time = Some t0_fault;
+                surviving_pes = np2;
+                retries = !(fp1.f_retries) + !(fp2.f_retries);
+                drops = !(fp1.f_drops) + !(fp2.f_drops);
+                undelivered =
+                  r1.r_messages + r2.r_messages
+                  - (!(fp1.f_delivered) + !(fp2.f_delivered));
+                lost_instances = lost_in r2.r_completion;
+                completed_iterations = k0;
+                replayed_iterations = iters2;
+                pre_fault_period;
+                post_fault_period;
+                migration_cost = plan.Cyclo.Degrade.migration_cost;
+                moved_nodes = List.length plan.Cyclo.Degrade.moved;
+                recovery_latency;
+                degraded_length = Some len2;
+                replan_error = None;
+              }
+            in
+            finish ~report ~makespan ~average_period
+              ~messages:(r1.r_messages + r2.r_messages)
+              ~hops:(r1.r_hops + r2.r_hops)
+              ~backlog:(max r1.r_backlog r2.r_backlog)
+              busy
+          end)
+
+let execute ?(policy = Contention_free) ?(transport = Store_and_forward)
+    ?recorder ?faults sched topo ~iterations =
+  match faults with
+  | None -> execute_clean ~policy ~transport ~recorder sched topo ~iterations
+  | Some armed ->
+      execute_faulty ~policy ~transport ~recorder ~armed sched topo ~iterations
 
 let slowdown stats sched =
   let len = Schedule.length sched in

@@ -47,14 +47,18 @@ type stats = {
       (** per-processor busy time — a fresh copy per call, safe to
           mutate *)
   per_pe_utilization : float array;
-      (** per-processor [busy / makespan], index = processor *)
+      (** per-processor [busy / makespan], index = processor (original
+          machine numbering, even after degraded-mode recovery) *)
   utilization : float;  (** total busy time / (processors * makespan) *)
+  faults : Faults.report option;
+      (** what the fault run measured; [None] for fault-free runs *)
 }
 
 val execute :
   ?policy:policy ->
   ?transport:transport ->
   ?recorder:Events.recorder ->
+  ?faults:Faults.armed ->
   Cyclo.Schedule.t ->
   Topology.t ->
   iterations:int ->
@@ -78,9 +82,29 @@ val execute :
     [simulator.link_backlog] (queue depth seen by each message that had
     to wait) and [simulator.instance_slip] (per-instance start delay vs
     the static promise [CB + k*L], 0 when on time).
+
+    [faults], when given, injects an armed fault scenario (see
+    {!Faults}) into the run.  Transport is stepped hop by hop so outage
+    windows and loss draws apply per link; with no active fault the
+    per-hop times sum to the analytic transit, so timing is unchanged.
+    Lost transmissions retry with bounded exponential backoff
+    ([simulator.msg_retries] / [simulator.msg_drops] counters and the
+    [simulator.retry_backoff] histogram; {!Events.Msg_retry} and
+    {!Events.Msg_dropped} in the stream).  A permanent fault (fail-stop
+    processor, uncut link) triggers two-phase degraded-mode recovery:
+    the survivors halt [detect_delay] after the fault, the completed
+    iteration prefix becomes the checkpoint, {!Cyclo.Degrade.replan}
+    derives a schedule for the surviving machine, migration cost is
+    charged, and the remaining iterations replay on the degraded
+    machine ({!Events.Degraded} marks the resume).  The run never
+    deadlocks under faults — instances whose inputs were lost are
+    reported in [stats.faults] instead.  Every draw is a deterministic
+    hash of [(seed, message, transmission)], so a fault run replays
+    byte-identically for a fixed seed (pinned by test).
     @raise Invalid_argument when the schedule is incomplete, illegal, the
-    topology size differs from the schedule's processor count, or
-    [iterations < 1]. *)
+    topology size differs from the schedule's processor count,
+    [iterations < 1], the fault scenario fails {!Faults.validate}, or
+    [faults] is combined with {!Wormhole} transport. *)
 
 val static_bound : Cyclo.Schedule.t -> iterations:int -> int
 (** The makespan the static schedule promises:

@@ -38,10 +38,12 @@ let digest events =
           | None -> ())
       | Events.Stall { t; pe; wait; cause; _ } -> (
           match cause with
-          | Events.Link_busy _ -> ()
+          | Events.Link_busy _ | Events.Link_down _ -> ()
           | Events.Input_wait _ | Events.Pe_busy ->
               if wait > 0 then pauses := { pe; t0 = t - wait; t1 = t } :: !pauses)
-      | Events.Msg_hop _ -> ())
+      | Events.Msg_hop _ | Events.Msg_retry _ | Events.Msg_dropped _
+      | Events.Pe_fail _ | Events.Link_fail _ | Events.Degraded _ ->
+          ())
     events;
   (* fill in arrow destinations from the send events *)
   let to_pe_of = Hashtbl.create 64 in
@@ -164,6 +166,38 @@ let to_svg ?(label = default_label) ?(px_per_step = 8) ~np events =
            (x_of a.sent) (lane_mid a.from_pe) (x_of a.arrived)
            (lane_mid a.to_pe)))
     arrows;
+  (* fault markers: a dead lane is struck through from its fail-stop
+     time, degraded-mode resume is a dashed rule across every lane *)
+  List.iter
+    (fun ev ->
+      match ev with
+      | Events.Pe_fail { t; pe } when pe >= 0 && pe < np ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#c00\" \
+                stroke-width=\"3\" opacity=\"0.5\"/>\n"
+               (x_of t) (lane_mid pe) (x_of horizon) (lane_mid pe));
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<text x=\"%d\" y=\"%d\" fill=\"#c00\">&#10007; pe%d \
+                failed</text>\n"
+               (x_of t + 4)
+               (lane_y pe + lane_h - 6)
+               (pe + 1))
+      | Events.Degraded { t; length; _ } ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#808\" \
+                stroke-dasharray=\"4 3\" stroke-width=\"2\"/>\n"
+               (x_of t) margin_top (x_of t)
+               (margin_top + (np * lane_h)));
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<text x=\"%d\" y=\"%d\" fill=\"#808\">degraded (L=%d)</text>\n"
+               (x_of t + 4)
+               (margin_top - 10 + 10) length)
+      | _ -> ())
+    events;
   Buffer.add_string buf "</svg>\n";
   Buffer.contents buf
 
@@ -235,6 +269,7 @@ let to_chrome_json ?(label = default_label) ~np events =
             match cause with
             | Events.Input_wait _ -> "input_wait"
             | Events.Link_busy _ -> "link_busy"
+            | Events.Link_down _ -> "link_down"
             | Events.Pe_busy -> "pe_busy"
           in
           emit
@@ -243,6 +278,32 @@ let to_chrome_json ?(label = default_label) ~np events =
                pe t
                (json_escape (label node))
                iter wait cause_s)
+      | Events.Msg_retry { t; msg; link = a, b; attempt; backoff } ->
+          emit
+            (Printf.sprintf
+               {|{"ph": "i", "pid": 0, "tid": %d, "ts": %d, "s": "t", "name": "retry m%d", "args": {"link": "pe%d->pe%d", "attempt": %d, "backoff": %d}}|}
+               np t msg (a + 1) (b + 1) attempt backoff)
+      | Events.Msg_dropped { t; msg; link = a, b; attempts } ->
+          emit
+            (Printf.sprintf
+               {|{"ph": "i", "pid": 0, "tid": %d, "ts": %d, "s": "g", "name": "dropped m%d", "args": {"link": "pe%d->pe%d", "attempts": %d}}|}
+               np t msg (a + 1) (b + 1) attempts)
+      | Events.Pe_fail { t; pe } ->
+          emit
+            (Printf.sprintf
+               {|{"ph": "i", "pid": 0, "tid": %d, "ts": %d, "s": "g", "name": "pe%d FAILED"}|}
+               pe t (pe + 1))
+      | Events.Link_fail { t; link = a, b; until } ->
+          emit
+            (Printf.sprintf
+               {|{"ph": "i", "pid": 0, "tid": %d, "ts": %d, "s": "g", "name": "link pe%d-pe%d down", "args": {"until": %d}}|}
+               np t (a + 1) (b + 1)
+               (match until with Some u -> u | None -> -1))
+      | Events.Degraded { t; moved; migration_cost; length; _ } ->
+          emit
+            (Printf.sprintf
+               {|{"ph": "i", "pid": 0, "tid": %d, "ts": %d, "s": "g", "name": "degraded mode", "args": {"moved": %d, "migration_cost": %d, "length": %d}}|}
+               np t moved migration_cost length)
       | Events.Msg_hop _ -> ())
     (Events.by_time events);
   Buffer.add_string buf "\n  ],\n  \"displayTimeUnit\": \"ms\"\n}\n";

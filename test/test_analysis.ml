@@ -25,7 +25,7 @@ let fig7_mesh2x4_best =
 let fig7 () =
   match Dataflow.Io.read_file ~path:"../data/fig7.csdfg" with
   | Ok g -> g
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Dataflow.Io.error_to_string e)
 
 let mesh2x4 () = Topology.mesh ~rows:2 ~cols:4
 

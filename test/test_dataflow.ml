@@ -95,7 +95,7 @@ let test_zero_delay_graph () =
 let test_io_roundtrip () =
   let text = Dataflow.Io.to_string fig1b in
   match Dataflow.Io.of_string text with
-  | Error msg -> Alcotest.fail msg
+  | Error e -> Alcotest.fail (Dataflow.Io.error_to_string e)
   | Ok g ->
       check "nodes preserved" (Csdfg.n_nodes fig1b) (Csdfg.n_nodes g);
       check "edges preserved" (Csdfg.n_edges fig1b) (Csdfg.n_edges g);
@@ -105,7 +105,7 @@ let test_io_roundtrip () =
 let test_io_comments_and_blanks () =
   let text = "# heading\n\ncsdfg t\nnode A 1  # trailing\nnode B 2\nedge A B 0 1\n" in
   match Dataflow.Io.of_string text with
-  | Error msg -> Alcotest.fail msg
+  | Error e -> Alcotest.fail (Dataflow.Io.error_to_string e)
   | Ok g ->
       check "two nodes" 2 (Csdfg.n_nodes g);
       check "one edge" 1 (Csdfg.n_edges g)
@@ -127,9 +127,11 @@ let test_io_errors () =
 
 let test_io_error_line_number () =
   match Dataflow.Io.of_string "csdfg t\nnode A one\n" with
-  | Error msg ->
+  | Error e ->
+      Alcotest.(check (option int)) "line 2" (Some 2) e.Dataflow.Io.line;
       check_bool "mentions line 2" true
-        (String.length msg >= 6 && String.sub msg 0 6 = "line 2")
+        (String.length (Dataflow.Io.error_to_string e) >= 6
+        && String.sub (Dataflow.Io.error_to_string e) 0 6 = "line 2")
   | Ok _ -> Alcotest.fail "must fail"
 
 (* ------------------------------------------------------------------ *)

@@ -387,7 +387,7 @@ let test_io_file_roundtrip () =
     (fun () ->
       Dataflow.Io.write_file ~path fig1b;
       match Dataflow.Io.read_file ~path with
-      | Error msg -> Alcotest.fail msg
+      | Error e -> Alcotest.fail (Dataflow.Io.error_to_string e)
       | Ok g ->
           Alcotest.(check string)
             "identical text" (Dataflow.Io.to_string fig1b)

@@ -62,7 +62,7 @@ let best_golden =
 let load name =
   match Dataflow.Io.read_file ~path:("../data/" ^ name ^ ".csdfg") with
   | Ok g -> g
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Dataflow.Io.error_to_string e)
 
 let check_against golden schedule_of =
   List.iter

@@ -440,7 +440,7 @@ let test_jsonl_export_well_formed () =
       | Ok json ->
           if i = 0 then
             Alcotest.(check (option string))
-              "schema header" (Some "ccsched-sim-events/1")
+              "schema header" (Some "ccsched-sim-events/2")
               (Option.bind (Obs.Json.member "schema" json) Obs.Json.to_str)
           else
             check_bool "has ev discriminator" true

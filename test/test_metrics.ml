@@ -16,7 +16,7 @@ module Export = Cyclo.Export
 let fig7 () =
   match Dataflow.Io.read_file ~path:"../data/fig7.csdfg" with
   | Ok g -> g
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Dataflow.Io.error_to_string e)
 
 (* The golden start-up schedule of fig7 on the 2x4 mesh
    (test_golden_signatures.ml), as (label, cb, pe) triples. *)
@@ -79,7 +79,7 @@ let test_tiny_hand_computed () =
       Dataflow.Io.of_string "csdfg tiny\nnode A 1\nnode B 1\nedge A B 0 1\n"
     with
     | Ok g -> g
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Dataflow.Io.error_to_string e)
   in
   let comm = Comm.of_topology (Topology.complete 2) in
   let s =

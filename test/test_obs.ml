@@ -490,7 +490,7 @@ let test_golden_trace () =
   let g =
     match Dataflow.Io.read_file ~path:"../data/fig7.csdfg" with
     | Ok g -> g
-    | Error e -> Alcotest.fail e
+    | Error e -> Alcotest.fail (Dataflow.Io.error_to_string e)
   in
   let topo = Topology.mesh ~rows:2 ~cols:4 in
   Trace.enable ();
