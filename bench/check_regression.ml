@@ -33,6 +33,19 @@ let rec parse_args history tolerance = function
       | _ -> die_usage ())
   | _ -> die_usage ()
 
+type pf_cell = {
+  seq_passes : int;
+  pf_passes : int;
+  winner_len : int;
+  winner_match : bool;
+}
+
+type portfolio = {
+  aggregate_speedup : float;
+  all_match : bool;
+  cells : ((string * string) * pf_cell) list;
+}
+
 type record = {
   line : int;
   host : string;
@@ -40,6 +53,8 @@ type record = {
   benchmarks : (string * float) list;
   schedules : ((string * string) * (int * int * int)) list;
       (* (workload, topology) -> (startup, best, passes) *)
+  portfolio : portfolio option;
+      (* absent in records predating the portfolio pair *)
 }
 
 let malformed line what =
@@ -76,8 +91,35 @@ let validate line json =
                field line item "best" Obs.Json.to_int,
                field line item "passes" Obs.Json.to_int ) ))
   in
+  let portfolio =
+    match Obs.Json.member "portfolio" json with
+    | None -> None
+    | Some pf ->
+        let bool_field item name =
+          match Obs.Json.member name item with
+          | Some (Obs.Json.Bool b) -> b
+          | _ -> malformed line (Printf.sprintf "missing or malformed %S" name)
+        in
+        Some
+          {
+            aggregate_speedup = field line pf "aggregate_speedup" Obs.Json.to_num;
+            all_match = bool_field pf "winner_match";
+            cells =
+              field line pf "cells" Obs.Json.to_list
+              |> List.map (fun item ->
+                     ( ( field line item "workload" Obs.Json.to_str,
+                         field line item "topology" Obs.Json.to_str ),
+                       {
+                         seq_passes = field line item "seq_passes" Obs.Json.to_int;
+                         pf_passes =
+                           field line item "portfolio_passes" Obs.Json.to_int;
+                         winner_len = field line item "winner_len" Obs.Json.to_int;
+                         winner_match = bool_field item "winner_match";
+                       } ));
+          }
+  in
   { line; host = field line json "host" Obs.Json.to_str; quick; benchmarks;
-    schedules }
+    schedules; portfolio }
 
 let load path =
   let ic =
@@ -135,6 +177,42 @@ let () =
                 Printf.printf "%s/%s: pass count %d -> %d\n" wn tn passes0
                   passes)
         candidate.schedules;
+      (* portfolio pair: winner identity and pass counts are exact.  A
+         winner diverging from the sequential baseline breaks the
+         determinism contract outright; pruning that fails to save work
+         (or a portfolio slower than its own baseline) is a regression
+         of the feature's whole point. *)
+      (match candidate.portfolio with
+      | None -> print_endline "no portfolio record; skipping portfolio gate"
+      | Some pf ->
+          Printf.printf "portfolio aggregate speedup %.2fx, winners %s\n"
+            pf.aggregate_speedup
+            (if pf.all_match then "byte-identical" else "DIVERGED");
+          if not pf.all_match then
+            fail "portfolio: winner differs from sequential baseline";
+          if pf.aggregate_speedup < 1.0 then
+            fail "portfolio: aggregate speedup %.2fx < 1.00x"
+              pf.aggregate_speedup;
+          List.iter
+            (fun ((wn, tn), c) ->
+              if not c.winner_match then
+                fail "portfolio %s/%s: winner signature diverged" wn tn;
+              if c.pf_passes > c.seq_passes then
+                fail "portfolio %s/%s: pruning ran %d passes > sequential %d"
+                  wn tn c.pf_passes c.seq_passes;
+              match
+                List.find_map
+                  (fun r ->
+                    Option.bind r.portfolio (fun p ->
+                        List.assoc_opt (wn, tn) p.cells))
+                  earlier
+              with
+              | Some earlier_cell when c.winner_len > earlier_cell.winner_len
+                ->
+                  fail "portfolio %s/%s: winner length %d -> %d (regression)"
+                    wn tn earlier_cell.winner_len c.winner_len
+              | Some _ | None -> ())
+            pf.cells);
       (* ns/run: same host, same quota class only *)
       (match
          List.find_opt

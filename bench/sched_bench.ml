@@ -18,6 +18,7 @@ module Schedule = Cyclo.Schedule
 module Comm = Cyclo.Comm
 module Priority = Cyclo.Priority
 module Compaction = Cyclo.Compaction
+module Portfolio = Cyclo.Portfolio
 module Timing = Cyclo.Timing
 
 (* ------------------------------------------------------------------ *)
@@ -212,11 +213,80 @@ let schedule_rows () =
   Obs.Counters.disable ();
   rows
 
+(* Portfolio vs sequential pair: the same K diversified searches driven
+   with shared-bound pruning (Portfolio.run defaults) against the
+   baseline that drives every search to its natural end
+   ([~prune:false ~domains:1]).  Wall-clock is best-of-two to damp
+   scheduler noise; pass counts and winner identity are exact, so the
+   regression gate leans on those — [winner_match] asserts the two
+   variants pick byte-identical winners, which is the portfolio's
+   determinism contract. *)
+type pf_cell = {
+  pf_workload : string;
+  pf_topology : string;
+  seq_ms : float;
+  pf_ms : float;
+  seq_passes : int;
+  pf_passes : int;
+  winner_len : int;
+  winner_match : bool;
+}
+
+let portfolio_cells () =
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1e3)
+  in
+  let best_of_two f =
+    let r, ms1 = time f in
+    let _, ms2 = time f in
+    (r, Float.min ms1 ms2)
+  in
+  let total_passes r =
+    List.fold_left (fun acc m -> acc + m.Portfolio.passes) 0
+      r.Portfolio.members
+  in
+  List.concat_map
+    (fun (wn, g) ->
+      List.map
+        (fun (tn, topo) ->
+          let seq, seq_ms =
+            best_of_two (fun () ->
+                Portfolio.run_on ~prune:false ~domains:1 ~validate:false g
+                  topo)
+          in
+          let pf, pf_ms =
+            best_of_two (fun () -> Portfolio.run_on ~validate:false g topo)
+          in
+          let seq_best = Portfolio.best seq and pf_best = Portfolio.best pf in
+          {
+            pf_workload = wn;
+            pf_topology = tn;
+            seq_ms;
+            pf_ms;
+            seq_passes = total_passes seq;
+            pf_passes = total_passes pf;
+            winner_len = Schedule.length pf_best;
+            winner_match =
+              String.equal
+                (Schedule.signature seq_best)
+                (Schedule.signature pf_best);
+          })
+        (topologies ()))
+    (workloads ())
+
+let portfolio_summary cells =
+  let seq = List.fold_left (fun a c -> a +. c.seq_ms) 0. cells in
+  let pf = List.fold_left (fun a c -> a +. c.pf_ms) 0. cells in
+  let speedup = if pf > 0. then seq /. pf else 0. in
+  (speedup, List.for_all (fun c -> c.winner_match) cells)
+
 (* One line per run appended to BENCH_history.jsonl; check_regression.ml
    reads it back (schema "ccsched-bench-history/1", see bench/README.md).
    ns/run figures are only comparable between records from the same host
    with the same --quick setting, so both are recorded. *)
-let append_history path ~quick rows sched_rows =
+let append_history path ~quick rows sched_rows pf_cells =
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
@@ -248,7 +318,24 @@ let append_history path ~quick rows sched_rows =
                (json_escape wn) (json_escape tn) startup best passes))
         per_topo)
     sched_rows;
-  Buffer.add_string buf "]}\n";
+  let pf_speedup, pf_match = portfolio_summary pf_cells in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "],\"portfolio\":{\"aggregate_speedup\":%.2f,\"winner_match\":%b,\
+        \"cells\":["
+       pf_speedup pf_match);
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"workload\":\"%s\",\"topology\":\"%s\",\"seq_ms\":%.1f,\
+            \"portfolio_ms\":%.1f,\"seq_passes\":%d,\"portfolio_passes\":%d,\
+            \"winner_len\":%d,\"winner_match\":%b}"
+           (json_escape c.pf_workload) (json_escape c.pf_topology) c.seq_ms
+           c.pf_ms c.seq_passes c.pf_passes c.winner_len c.winner_match))
+    pf_cells;
+  Buffer.add_string buf "]}}\n";
   output_string oc (Buffer.contents buf);
   close_out oc;
   Fmt.pr "appended history record to %s@." path
@@ -269,7 +356,7 @@ let phase_profile () =
   Obs.Counters.disable ();
   (Obs.Trace.aggregate (), Obs.Counters.dump ())
 
-let emit_json path rows =
+let emit_json path rows pf_cells =
   let find name = List.assoc_opt name rows in
   let speedup =
     match
@@ -305,6 +392,22 @@ let emit_json path rows =
       Printf.fprintf oc ",\n  \"sim_recorder_overhead_elliptic_mesh4x4\": %.2f"
         r
   | None -> ());
+  let pf_speedup, pf_match = portfolio_summary pf_cells in
+  Printf.fprintf oc
+    ",\n  \"portfolio_speedup_aggregate\": %.2f,\n  \
+     \"portfolio_winner_match\": %b,\n  \"portfolio_cells\": [\n"
+    pf_speedup pf_match;
+  List.iteri
+    (fun i c ->
+      Printf.fprintf oc
+        "    {\"workload\": \"%s\", \"topology\": \"%s\", \"seq_ms\": %.1f, \
+         \"portfolio_ms\": %.1f, \"seq_passes\": %d, \"portfolio_passes\": \
+         %d, \"winner_len\": %d, \"winner_match\": %b}%s\n"
+        (json_escape c.pf_workload) (json_escape c.pf_topology) c.seq_ms
+        c.pf_ms c.seq_passes c.pf_passes c.winner_len c.winner_match
+        (if i = List.length pf_cells - 1 then "" else ","))
+    pf_cells;
+  output_string oc "  ]";
   let phases, counters = phase_profile () in
   output_string oc ",\n  \"phases_elliptic_mesh4x4\": [\n";
   List.iteri
@@ -354,5 +457,20 @@ let () =
             passes steps
       | _ -> ())
     sched_rows;
-  emit_json "BENCH_sched.json" rows;
-  append_history "BENCH_history.jsonl" ~quick rows sched_rows
+  let pf_cells = portfolio_cells () in
+  List.iter
+    (fun c ->
+      Fmt.pr
+        "portfolio %-10s %-8s seq %7.1f ms (%4d passes) -> portfolio %7.1f \
+         ms (%4d passes) x%.2f winner %d %s@."
+        c.pf_workload c.pf_topology c.seq_ms c.seq_passes c.pf_ms c.pf_passes
+        (if c.pf_ms > 0. then c.seq_ms /. c.pf_ms else 0.)
+        c.winner_len
+        (if c.winner_match then "match" else "MISMATCH"))
+    pf_cells;
+  let pf_speedup, pf_match = portfolio_summary pf_cells in
+  Fmt.pr "portfolio aggregate speedup (seq / portfolio): %.2fx, winners %s@."
+    pf_speedup
+    (if pf_match then "byte-identical" else "DIVERGED");
+  emit_json "BENCH_sched.json" rows pf_cells;
+  append_history "BENCH_history.jsonl" ~quick rows sched_rows pf_cells

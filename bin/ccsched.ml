@@ -104,6 +104,18 @@ let slowdown_arg =
   let doc = "Multiply every edge delay by $(docv) before scheduling." in
   Arg.(value & opt int 1 & info [ "slowdown" ] ~docv:"K" ~doc)
 
+let portfolio_arg =
+  let doc =
+    "Run $(docv) diversified compaction searches as a portfolio (mode, \
+     scoring, placement order and target-length ladder) with shared-bound \
+     pruning, and report the deterministic winner."
+  in
+  Arg.(value & opt (some int) None & info [ "portfolio" ] ~docv:"K" ~doc)
+
+let domains_arg =
+  let doc = "Domains to spread portfolio searches over (default: all cores)." in
+  Arg.(value & opt (some int) None & info [ "domains" ] ~docv:"N" ~doc)
+
 let table_flag =
   Arg.(value & flag & info [ "t"; "table" ] ~doc:"Print the schedule tables.")
 
@@ -224,11 +236,30 @@ let show_cmd =
     Term.(const run $ graph_arg $ slowdown_arg)
 
 let schedule_cmd =
-  let run spec arch mode passes slowdown speeds table trace profile metrics =
+  let run spec arch mode passes slowdown speeds portfolio domains table trace
+      profile metrics =
     let g = prepared spec slowdown in
     let topo = or_die (parse_arch arch) in
     let speeds = or_die (parse_speeds topo speeds) in
     with_observability ~profile ~metrics @@ fun () ->
+    match portfolio with
+    | Some k ->
+        if k < 1 then die 3 "--portfolio needs K >= 1";
+        let t = Cyclo.Portfolio.run_on ~k ?domains ?speeds ?passes g topo in
+        let best = Cyclo.Portfolio.best t in
+        Fmt.pr "workload %s on %s@." (Dataflow.Csdfg.name g)
+          (Topology.name topo);
+        Fmt.pr "%a@." Cyclo.Portfolio.pp t;
+        Fmt.pr "metrics: %a@." Cyclo.Metrics.pp_summary best;
+        if table then Fmt.pr "@.best schedule:@.%a@." Cyclo.Schedule.pp best;
+        (match Cyclo.Validator.check best with
+        | Ok () -> ()
+        | Error problems ->
+            Fmt.epr "INTERNAL ERROR: emitted an illegal schedule:@.%a@."
+              (Fmt.list (Cyclo.Validator.pp_violation best))
+              problems;
+            exit 1)
+    | None ->
     let r = Cyclo.Compaction.run_on ~mode ?speeds ?passes g topo in
     let startup = r.Cyclo.Compaction.startup and best = r.Cyclo.Compaction.best in
     Fmt.pr "workload %s on %s (%a)@." (Dataflow.Csdfg.name g)
@@ -262,7 +293,8 @@ let schedule_cmd =
        ~doc:"Run start-up scheduling plus cyclo-compaction on one architecture.")
     Term.(
       const run $ graph_arg $ arch_arg $ mode_arg $ passes_arg $ slowdown_arg
-      $ speeds_arg $ table_flag $ trace_flag $ profile_arg $ metrics_flag)
+      $ speeds_arg $ portfolio_arg $ domains_arg $ table_flag $ trace_flag
+      $ profile_arg $ metrics_flag)
 
 let compare_cmd =
   let run spec passes slowdown =
@@ -702,13 +734,22 @@ let partition_cmd =
 let optimal_cmd =
   let states_arg =
     Arg.(value & opt int 2_000_000
-         & info [ "max-states" ] ~docv:"N" ~doc:"Search-node budget.")
+         & info [ "max-states" ] ~docv:"N" ~doc:"Search-node budget (per shard).")
   in
-  let run spec arch slowdown states time_budget =
+  let shards_arg =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Shard the root placements over N parallel sub-searches; \
+                   the result is byte-identical to the sequential search.")
+  in
+  let run spec arch slowdown states time_budget shards =
     let g = prepared spec slowdown in
     let topo = or_die (parse_arch arch) in
     let comm = Cyclo.Comm.of_topology topo in
-    (match Cyclo.Exhaustive.solve ~max_states:states ?time_budget g comm with
+    if shards < 1 then die 3 "--shards needs N >= 1";
+    (match
+       Cyclo.Exhaustive.solve ~max_states:states ?time_budget ~shards g comm
+     with
     | Cyclo.Exhaustive.Optimal s ->
         Fmt.pr "optimal static schedule (no retiming): length %d@.%a@."
           (Cyclo.Schedule.length s) Cyclo.Schedule.pp s
@@ -731,7 +772,7 @@ let optimal_cmd =
        ~doc:"Exact branch-and-bound schedule for small graphs, compared \
              against cyclo-compaction.")
     Term.(const run $ graph_arg $ arch_arg $ slowdown_arg $ states_arg
-          $ time_budget_arg)
+          $ time_budget_arg $ shards_arg)
 
 let validate_cmd =
   let csv_arg =

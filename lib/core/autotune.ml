@@ -45,22 +45,29 @@ let run ?passes ?speeds ?(parallel = true) ?time_budget dfg comm =
         in
         (r, false)
     | Some seconds ->
-        (* Budgeted runs are sequential: the deadline is re-checked
-           before each configuration, and the first one always runs so
-           there is always a best. *)
+        (* Budgeted runs share one deadline across domains: every
+           worker re-checks it before starting a configuration, and the
+           first configuration never checks, so there is always a
+           best. *)
         let deadline = Obs.Trace.now_ns () + int_of_float (seconds *. 1e9) in
-        let rec go acc = function
-          | [] -> (List.rev acc, false)
-          | c :: rest ->
-              if acc <> [] && Obs.Trace.now_ns () > deadline then
-                (List.rev acc, true)
-              else go (one c :: acc) rest
+        let budgeted i c =
+          if i > 0 && Obs.Trace.now_ns () > deadline then None
+          else Some (one c)
         in
-        go [] configurations
+        let cells =
+          if parallel then Parutil.Parallel.mapi budgeted configurations
+          else List.mapi budgeted configurations
+        in
+        (List.filter_map Fun.id cells, List.exists Option.is_none cells)
   in
+  (* Best length first; equal lengths ranked by schedule signature so
+     the winner never depends on traversal or completion order. *)
   let ranked =
     List.sort
-      (fun (_, a) (_, b) -> compare (Schedule.length a) (Schedule.length b))
+      (fun (_, a) (_, b) ->
+        match compare (Schedule.length a) (Schedule.length b) with
+        | 0 -> compare (Schedule.signature a) (Schedule.signature b)
+        | c -> c)
       results
   in
   match ranked with

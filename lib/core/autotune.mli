@@ -34,10 +34,18 @@ val run :
 (** Runs the four (mode, scoring) configurations plus a local-search
     polish on each winner candidate; [parallel] (default true) fans the
     runs over domains.  Always at least as good as any single
-    configuration.  [time_budget] (seconds of wall clock) forces the
-    runs sequential and stops starting new configurations once the
-    budget is spent; the first configuration always runs, so there is
-    always a [best], and [exhausted] records the truncation.
+    configuration.  Equal-length results are ranked by lexicographic
+    schedule signature, so the winner is independent of traversal and
+    completion order.
+
+    [time_budget] (seconds of wall clock) sets one shared deadline:
+    each configuration after the first is skipped (not truncated) if
+    the deadline has already passed when it is about to start, and
+    [exhausted] records whether any was skipped.  The budget composes
+    with [parallel] — workers share the same deadline.  {b Guarantee:}
+    the first configuration never checks the deadline and always runs
+    to completion, so there is always a [best] even with
+    [time_budget = 0.].
     @raise Invalid_argument on an illegal CSDFG. *)
 
 val run_on :

@@ -39,7 +39,7 @@ let log_src = Logs.Src.create "cyclo.compaction" ~doc:"Cyclo-compaction passes"
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
 let c_passes = Obs.Counters.counter "compaction.passes"
-let g_best_length = Obs.Counters.counter "compaction.best_length"
+let g_best_length = Obs.Counters.gauge "compaction.best_length"
 let c_compacted = Obs.Counters.counter "compaction.outcome.compacted"
 let c_lateral = Obs.Counters.counter "compaction.outcome.lateral"
 let c_expanded = Obs.Counters.counter "compaction.outcome.expanded"
@@ -53,7 +53,7 @@ let c_outcome = function
   | Fell_back -> c_fell_back
   | Stuck -> c_stuck
 
-let pass ?scoring mode sched =
+let pass ?scoring ?order mode sched =
   Obs.Trace.with_span "compaction.pass" @@ fun () ->
   let sched = Schedule.normalize sched in
   let sched = Schedule.set_length sched (Timing.required_length sched) in
@@ -61,7 +61,7 @@ let pass ?scoring mode sched =
     match Rotation.start sched with
     | Error _ -> (sched, Stuck)
     | Ok rot -> (
-        match Remap.run ?scoring mode rot with
+        match Remap.run ?scoring ?order mode rot with
         | Remap.Remapped next ->
             (next, classify ~previous:(Schedule.length sched)
                      ~next:(Schedule.length next) None)
@@ -83,18 +83,81 @@ let state_hash sched =
     (Schedule.hash sched) (Csdfg.edges dfg)
   land max_int
 
-let drive ~mode ?scoring ~budget ~validate startup =
+(* Resumable search state.  [drive] below is a thin wrapper that runs a
+   stepper to completion in one call; Portfolio instead interleaves many
+   steppers round-robin, pausing each after a fixed slice of passes.
+   Both paths execute the identical pass sequence, so for any given
+   knobs a stepper's trajectory is byte-identical however it is
+   sliced. *)
+type stepper = {
+  sp_mode : Remap.mode;
+  sp_scoring : Remap.scoring option;
+  sp_order : Remap.order option;
+  sp_budget : int;
+  sp_validate : bool;
+  sp_startup : Schedule.t;
+  sp_seen : (int, unit) Hashtbl.t;
+  mutable sp_sched : Schedule.t;
+  mutable sp_best : Schedule.t;
+  mutable sp_trace : trace_entry list;  (* reversed *)
+  mutable sp_next : int;  (* 1-based index of the next pass to run *)
+  mutable sp_converged : bool;
+  mutable sp_done : bool;
+}
+
+let stepper ?(mode = Remap.With_relaxation) ?scoring ?order ~budget
+    ?(validate = true) startup =
   let seen : (int, unit) Hashtbl.t = Hashtbl.create 64 in
   Hashtbl.add seen (state_hash startup) ();
-  let rec loop i sched best trace =
-    if i > budget then (sched, best, List.rev trace, false)
+  {
+    sp_mode = mode;
+    sp_scoring = scoring;
+    sp_order = order;
+    sp_budget = budget;
+    sp_validate = validate;
+    sp_startup = startup;
+    sp_seen = seen;
+    sp_sched = startup;
+    sp_best = startup;
+    sp_trace = [];
+    sp_next = 1;
+    sp_converged = false;
+    sp_done = false;
+  }
+
+let best_length st = Schedule.length st.sp_best
+let best_schedule st = st.sp_best
+let passes_run st = st.sp_next - 1
+let finished st = st.sp_done
+
+let advance ?should_stop ~passes st =
+  let stop_at = st.sp_next + passes - 1 in
+  let rec loop () =
+    if st.sp_done then `Finished
+    else if st.sp_next > st.sp_budget then begin
+      st.sp_done <- true;
+      `Finished
+    end
+    else if
+      match should_stop with
+      | Some f -> f ~pass:st.sp_next ~best:(Schedule.length st.sp_best)
+      | None -> false
+    then begin
+      st.sp_done <- true;
+      `Stopped
+    end
+    else if st.sp_next > stop_at then `Paused
     else begin
+      let i = st.sp_next in
+      let sched = st.sp_sched in
       let rotated =
         List.map (Csdfg.label (Schedule.dfg sched))
           (Schedule.first_row (Schedule.normalize sched))
       in
-      let next, outcome = pass ?scoring mode sched in
-      if validate then Validator.assert_legal next;
+      let next, outcome =
+        pass ?scoring:st.sp_scoring ?order:st.sp_order st.sp_mode sched
+      in
+      if st.sp_validate then Validator.assert_legal next;
       Log.debug (fun m ->
           m "pass %d: rotate {%s} -> length %d (%a)" i
             (String.concat " " rotated)
@@ -109,23 +172,41 @@ let drive ~mode ?scoring ~budget ~validate startup =
                outcome = Fmt.str "%a" pp_outcome outcome;
                binding = Analysis.binding_constraint next;
              });
-      let best =
-        if Schedule.length next < Schedule.length best then next else best
-      in
+      if Schedule.length next < Schedule.length st.sp_best then
+        st.sp_best <- next;
+      st.sp_sched <- next;
+      st.sp_trace <- entry :: st.sp_trace;
+      st.sp_next <- i + 1;
       let signature = state_hash next in
-      if outcome = Stuck || Hashtbl.mem seen signature then
-        (next, best, List.rev (entry :: trace), true)
+      if outcome = Stuck || Hashtbl.mem st.sp_seen signature then begin
+        st.sp_converged <- true;
+        st.sp_done <- true;
+        `Finished
+      end
       else begin
-        Hashtbl.add seen signature ();
-        loop (i + 1) next best (entry :: trace)
+        Hashtbl.add st.sp_seen signature ();
+        loop ()
       end
     end
   in
-  let final, best, trace, converged = loop 1 startup startup [] in
-  Obs.Counters.set g_best_length (Schedule.length best);
-  { startup; best; final; trace; converged }
+  loop ()
 
-let run ?(mode = Remap.With_relaxation) ?scoring ?speeds ?passes
+let stepper_result st =
+  Obs.Counters.set g_best_length (Schedule.length st.sp_best);
+  {
+    startup = st.sp_startup;
+    best = st.sp_best;
+    final = st.sp_sched;
+    trace = List.rev st.sp_trace;
+    converged = st.sp_converged;
+  }
+
+let drive ~mode ?scoring ?order ~budget ~validate startup =
+  let st = stepper ~mode ?scoring ?order ~budget ~validate startup in
+  let (_ : [ `Finished | `Paused | `Stopped ]) = advance ~passes:budget st in
+  stepper_result st
+
+let run ?(mode = Remap.With_relaxation) ?scoring ?order ?speeds ?passes
     ?(validate = true) dfg comm =
   Obs.Trace.with_span "compaction.run"
     ~args:
@@ -141,10 +222,10 @@ let run ?(mode = Remap.With_relaxation) ?scoring ?speeds ?passes
     | Some p -> max 0 p
     | None -> default_passes (Csdfg.n_nodes dfg)
   in
-  drive ~mode ?scoring ~budget ~validate startup
+  drive ~mode ?scoring ?order ~budget ~validate startup
 
-let resume ?(mode = Remap.With_relaxation) ?scoring ?passes ?(validate = true)
-    sched =
+let resume ?(mode = Remap.With_relaxation) ?scoring ?order ?passes
+    ?(validate = true) sched =
   Obs.Trace.with_span "compaction.resume" @@ fun () ->
   if validate then Validator.assert_legal sched;
   let budget =
@@ -152,10 +233,11 @@ let resume ?(mode = Remap.With_relaxation) ?scoring ?passes ?(validate = true)
     | Some p -> max 0 p
     | None -> default_passes (Csdfg.n_nodes (Schedule.dfg sched))
   in
-  drive ~mode ?scoring ~budget ~validate sched
+  drive ~mode ?scoring ?order ~budget ~validate sched
 
-let run_on ?mode ?scoring ?speeds ?passes ?validate dfg topo =
-  run ?mode ?scoring ?speeds ?passes ?validate dfg (Comm.of_topology topo)
+let run_on ?mode ?scoring ?order ?speeds ?passes ?validate dfg topo =
+  run ?mode ?scoring ?order ?speeds ?passes ?validate dfg
+    (Comm.of_topology topo)
 
 let pp_trace ppf trace =
   Fmt.pf ppf "@[<v>";

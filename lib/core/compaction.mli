@@ -40,21 +40,23 @@ val default_passes : int -> int
 val run :
   ?mode:Remap.mode ->
   ?scoring:Remap.scoring ->
+  ?order:Remap.order ->
   ?speeds:int array ->
   ?passes:int ->
   ?validate:bool ->
   Dataflow.Csdfg.t ->
   Comm.t ->
   result
-(** [mode] defaults to [With_relaxation] (the paper's better performer)
-    and [scoring] to [Pressure_first]; [validate] (default [true])
-    re-checks every intermediate schedule with {!Validator} and raises
-    [Failure] on any internal inconsistency.
+(** [mode] defaults to [With_relaxation] (the paper's better performer),
+    [scoring] to [Pressure_first] and [order] to [Forward]; [validate]
+    (default [true]) re-checks every intermediate schedule with
+    {!Validator} and raises [Failure] on any internal inconsistency.
     @raise Invalid_argument when the CSDFG is illegal. *)
 
 val run_on :
   ?mode:Remap.mode ->
   ?scoring:Remap.scoring ->
+  ?order:Remap.order ->
   ?speeds:int array ->
   ?passes:int ->
   ?validate:bool ->
@@ -65,6 +67,7 @@ val run_on :
 val resume :
   ?mode:Remap.mode ->
   ?scoring:Remap.scoring ->
+  ?order:Remap.order ->
   ?passes:int ->
   ?validate:bool ->
   Schedule.t ->
@@ -75,8 +78,69 @@ val resume :
     field holds the given schedule. *)
 
 val pass :
-  ?scoring:Remap.scoring -> Remap.mode -> Schedule.t -> Schedule.t * outcome
+  ?scoring:Remap.scoring ->
+  ?order:Remap.order ->
+  Remap.mode ->
+  Schedule.t ->
+  Schedule.t * outcome
 (** One rotate-and-remap step (normalizes first); exposed for walkthrough
     examples and property tests. *)
+
+(** {2 Resumable stepping}
+
+    A {!stepper} holds one search's full mutable state — current
+    schedule, best-so-far, trace, pass counter and the repeated-state
+    table — so the pass loop can be paused and resumed without changing
+    its trajectory.  [run]/[resume] are now thin wrappers that drive a
+    stepper to completion in one call; {!Portfolio} interleaves many
+    steppers in fixed-size slices.  For fixed knobs the executed pass
+    sequence is byte-identical however the budget is sliced. *)
+
+type stepper
+
+val stepper :
+  ?mode:Remap.mode ->
+  ?scoring:Remap.scoring ->
+  ?order:Remap.order ->
+  budget:int ->
+  ?validate:bool ->
+  Schedule.t ->
+  stepper
+(** A fresh search positioned before pass 1, starting from the given
+    (complete, legal) schedule.  [budget] caps the total passes across
+    all {!advance} calls. *)
+
+val advance :
+  ?should_stop:(pass:int -> best:int -> bool) ->
+  passes:int ->
+  stepper ->
+  [ `Finished | `Paused | `Stopped ]
+(** Run up to [passes] further passes.  [`Finished]: the search
+    converged (repeated state or stuck) or exhausted its budget —
+    further calls return [`Finished] without running anything.
+    [`Paused]: the slice was used up with the search still live.
+    [`Stopped]: [should_stop] returned [true]; the stepper is retired
+    exactly as if its budget had run out (its best-so-far stands).
+    [should_stop] is consulted before {e every} pass with the 1-based
+    index of the pass about to run and the current best length — the
+    early-prune hook used by {!Portfolio}'s shared bound. *)
+
+val stepper_result : stepper -> result
+(** Snapshot the stepper as a {!result} ([startup] = the initial
+    schedule, [final] = current state, [converged] = stopped on a
+    repeated state rather than budget/[should_stop]).  Also publishes
+    the best length to the [compaction.best_length] gauge. *)
+
+val best_length : stepper -> int
+(** Length of the stepper's best-so-far schedule. *)
+
+val best_schedule : stepper -> Schedule.t
+(** The best-so-far schedule itself. *)
+
+val passes_run : stepper -> int
+(** Passes executed so far. *)
+
+val finished : stepper -> bool
+(** [true] once {!advance} has returned [`Finished] or [`Stopped]. *)
 
 val pp_trace : Format.formatter -> trace_entry list -> unit

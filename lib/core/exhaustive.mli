@@ -20,17 +20,34 @@ val solve :
   ?max_states:int ->
   ?max_length:int ->
   ?time_budget:float ->
+  ?shards:int ->
+  ?domains:int ->
   Dataflow.Csdfg.t ->
   Comm.t ->
   outcome
-(** [max_states] bounds the total search nodes (default 2_000_000);
+(** [max_states] bounds the search nodes (default 2_000_000);
     [max_length] bounds the deepening (default: the start-up schedule's
     length, which is always feasible); [time_budget] is a wall-clock
     limit in seconds (checked every 1024 search nodes, so very small
     searches may finish instead of timing out).  When either budget
     runs out, {!Gave_up} carries the start-up schedule as the best
     known answer — unless an explicit [max_length] excludes it.
-    @raise Invalid_argument on an illegal CSDFG. *)
+
+    [shards] (default 1) splits each deepening level across shards by
+    round-robin over the root node's candidate (processor, step)
+    placements, numbered in the sequential scan order, running the
+    shards over [domains] domains (default
+    {!Parutil.Parallel.recommended_domains}).  Each shard stops at its
+    first solution and publishes its ordinal through a shared [Atomic],
+    letting shards that can no longer hold the minimum cancel
+    themselves mid-search.  The reported schedule is the minimum-ordinal
+    solution — exactly the one the sequential scan finds first — so
+    sharded and sequential runs are byte-identical, with one caveat:
+    [max_states] applies {e per shard} (total explored states may reach
+    [shards * max_states]), and if any shard exhausts a budget the
+    whole solve degrades to {!Gave_up} just as the sequential solver
+    does.
+    @raise Invalid_argument on an illegal CSDFG or [shards < 1]. *)
 
 val optimality_gap : Schedule.t -> int option
 (** [length - optimal length] for the schedule's graph and communication

@@ -13,6 +13,12 @@ let pp_scoring ppf = function
   | Pressure_first -> Fmt.string ppf "pressure-first"
   | Earliest_step -> Fmt.string ppf "earliest-step"
 
+type order = Forward | Reverse
+
+let pp_order ppf = function
+  | Forward -> Fmt.string ppf "forward"
+  | Reverse -> Fmt.string ppf "reverse"
+
 type outcome =
   | Remapped of Schedule.t
   | Fallback of Schedule.t
@@ -105,7 +111,7 @@ let place_node ~scoring ~limit ~target sched v =
   | [] -> None
   | (_, cs, _, pe) :: _ -> Some (Schedule.assign sched ~node:v ~cb:cs ~pe)
 
-let place_all ~scoring ~limit ~target rot =
+let place_all ~scoring ~order ~limit ~target rot =
   let rec go sched = function
     | [] -> Some sched
     | v :: rest -> (
@@ -113,7 +119,12 @@ let place_all ~scoring ~limit ~target rot =
         | Some sched -> go sched rest
         | None -> None)
   in
-  go rot.Rotation.base (place_order rot)
+  let nodes =
+    match order with
+    | Forward -> place_order rot
+    | Reverse -> List.rev (place_order rot)
+  in
+  go rot.Rotation.base nodes
 
 let finalize sched = Schedule.set_length sched (Timing.required_length sched)
 
@@ -122,18 +133,18 @@ let fallback_or_stuck rot =
   if Schedule.length fb <= rot.Rotation.previous_length then Fallback fb
   else Stuck
 
-let run ?(scoring = Pressure_first) mode (rot : Rotation.t) =
+let run ?(scoring = Pressure_first) ?(order = Forward) mode (rot : Rotation.t) =
   let prev = rot.previous_length in
   let target = max 1 (prev - 1) in
   match mode with
   | With_relaxation -> (
-      match place_all ~scoring ~limit:None ~target rot with
+      match place_all ~scoring ~order ~limit:None ~target rot with
       | Some sched -> Remapped (finalize sched)
       | None ->
           (* Unbounded search always finds a slot; kept for totality. *)
           fallback_or_stuck rot)
   | Without_relaxation -> (
-      match place_all ~scoring ~limit:(Some prev) ~target rot with
+      match place_all ~scoring ~order ~limit:(Some prev) ~target rot with
       | Some sched ->
           let sched = finalize sched in
           if Schedule.length sched <= prev then Remapped sched

@@ -30,6 +30,15 @@ type scoring =
 
 val pp_scoring : Format.formatter -> scoring -> unit
 
+(** Direction the rotated set is walked during re-placement.  [Forward]
+    is {!place_order} as-is (original processor, then node id);
+    [Reverse] walks the same list backwards.  Both are legal greedy
+    orders — exposing the choice lets a portfolio diversify its
+    tie-break behaviour without touching the candidate ranking. *)
+type order = Forward | Reverse
+
+val pp_order : Format.formatter -> order -> unit
+
 type outcome =
   | Remapped of Schedule.t  (** accepted remap, already PSL-padded *)
   | Fallback of Schedule.t  (** pure rotation retained (without relaxation) *)
@@ -37,7 +46,8 @@ type outcome =
       (** even the fallback grows the table (multi-cycle overhang);
           the pass must be undone *)
 
-val run : ?scoring:scoring -> mode -> Rotation.t -> outcome
+val run : ?scoring:scoring -> ?order:order -> mode -> Rotation.t -> outcome
+(** [order] defaults to [Forward], the historical behaviour. *)
 
 val place_order : Rotation.t -> int list
 (** The deterministic order nodes are re-placed in: original processor,

@@ -58,7 +58,7 @@ let c_messages = Obs.Counters.counter "simulator.messages"
 let c_hops = Obs.Counters.counter "simulator.message_hops"
 let c_events = Obs.Counters.counter "simulator.events"
 let c_stalls = Obs.Counters.counter "simulator.stalls"
-let g_backlog = Obs.Counters.counter "simulator.max_link_backlog"
+let g_backlog = Obs.Counters.gauge "simulator.max_link_backlog"
 let c_retries = Obs.Counters.counter "simulator.msg_retries"
 let c_drops = Obs.Counters.counter "simulator.msg_drops"
 let h_latency = Obs.Histogram.histogram "simulator.msg_latency"

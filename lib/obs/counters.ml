@@ -1,19 +1,25 @@
-type t = { name : string; cell : int Atomic.t }
+type kind = Counter | Gauge
+
+type t = { name : string; kind : kind; cell : int Atomic.t }
 
 let enabled_flag = Atomic.make false
 let lock = Mutex.create ()
 let table : (string, t) Hashtbl.t = Hashtbl.create 32
 
-let counter name =
+let register kind name =
   Mutex.protect lock (fun () ->
       match Hashtbl.find_opt table name with
       | Some c -> c
       | None ->
-          let c = { name; cell = Atomic.make 0 } in
+          let c = { name; kind; cell = Atomic.make 0 } in
           Hashtbl.add table name c;
           c)
 
+let counter name = register Counter name
+let gauge name = register Gauge name
+
 let name c = c.name
+let kind c = c.kind
 
 let incr ?(by = 1) c =
   if Atomic.get enabled_flag then ignore (Atomic.fetch_and_add c.cell by)
@@ -37,10 +43,19 @@ let dump () =
       Hashtbl.fold (fun name c acc -> (name, Atomic.get c.cell) :: acc) table [])
   |> List.sort compare
 
+let dump_kinds () =
+  Mutex.protect lock (fun () ->
+      Hashtbl.fold
+        (fun name c acc -> (name, c.kind, Atomic.get c.cell) :: acc)
+        table [])
+  |> List.sort compare
+
 let pp_summary ppf () =
-  let rows = dump () in
+  let rows = dump_kinds () in
   if rows = [] then Format.fprintf ppf "no counters registered@."
   else
     List.iter
-      (fun (name, v) -> Format.fprintf ppf "%-32s %10d@." name v)
+      (fun (name, kind, v) ->
+        Format.fprintf ppf "%-32s %10d%s@." name v
+          (match kind with Counter -> "" | Gauge -> "  (gauge)"))
       rows

@@ -15,12 +15,23 @@
 type t
 (** A registered counter (or gauge) handle. *)
 
+type kind = Counter | Gauge
+(** How a handle is meant to be driven — a [Counter] accumulates with
+    {!incr}, a [Gauge] is replaced with {!set}.  The kind is declared at
+    registration time so exporters ({!pp_summary}, [--metrics]) can
+    classify values without guessing from the name. *)
+
 val counter : string -> t
-(** [counter name] registers [name] and returns its handle; calling it
-    again with the same name returns the same handle.  Safe to call from
-    any domain. *)
+(** [counter name] registers [name] as a {!Counter} and returns its
+    handle; calling it again with the same name returns the same handle
+    (the original kind wins).  Safe to call from any domain. *)
+
+val gauge : string -> t
+(** Like {!counter} but registers the name as a {!Gauge}
+    (last-write-wins, driven with {!set}). *)
 
 val name : t -> string
+val kind : t -> kind
 
 val incr : ?by:int -> t -> unit
 (** Add [by] (default 1).  No-op while the registry is disabled. *)
@@ -45,6 +56,9 @@ val reset : unit -> unit
 val dump : unit -> (string * int) list
 (** Snapshot of every registered counter, sorted by name. *)
 
+val dump_kinds : unit -> (string * kind * int) list
+(** Like {!dump} but carrying each handle's declared {!kind}. *)
+
 val pp_summary : Format.formatter -> unit -> unit
 (** Human-readable registry listing, one [name value] line per counter
-    in {!dump} order. *)
+    in {!dump} order; gauges are marked [(gauge)]. *)

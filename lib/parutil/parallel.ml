@@ -1,6 +1,6 @@
 let recommended_domains () = max 1 (Domain.recommended_domain_count ())
 
-type 'b cell = Pending | Done of 'b | Failed of exn
+type 'b cell = Pending | Done of 'b | Failed of exn * Printexc.raw_backtrace
 
 let c_tasks = Obs.Counters.counter "parutil.tasks"
 let c_domains = Obs.Counters.counter "parutil.domains"
@@ -36,7 +36,7 @@ let mapi ?domains f items =
               (output.(i) <-
                 (match traced_task i f input.(i) with
                 | v -> Done v
-                | exception e -> Failed e));
+                | exception e -> Failed (e, Printexc.get_raw_backtrace ())));
               loop ()
             end
           in
@@ -48,7 +48,7 @@ let mapi ?domains f items =
         Array.to_list output
         |> List.map (function
              | Done v -> v
-             | Failed e -> raise e
+             | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
              | Pending -> assert false)
       end)
 

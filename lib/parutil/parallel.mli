@@ -19,6 +19,8 @@ val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving parallel map.  [domains] defaults to
     {!recommended_domains} capped at the list length; [domains <= 1] or
     a short list degrade to [List.map].  Exceptions from the worker
-    function are re-raised in the caller (first by input order). *)
+    function are re-raised in the caller (first by input order) with
+    the worker's original backtrace preserved via
+    [Printexc.raise_with_backtrace]. *)
 
 val mapi : ?domains:int -> (int -> 'a -> 'b) -> 'a list -> 'b list

@@ -45,6 +45,30 @@ let test_exception_propagates () =
     | exception Boom 13 -> true
     | exception _ -> false)
 
+(* The worker's backtrace must survive the cross-domain re-raise: the
+   coordinator re-raises with [Printexc.raise_with_backtrace], so the
+   frame that actually raised — this function, in this file — is still
+   on the recorded trace, not just the re-raise site in parallel.ml. *)
+let[@inline never] detonate x = if x = 13 then raise (Boom x) else x
+
+let test_backtrace_preserved () =
+  let prev = Printexc.backtrace_status () in
+  Printexc.record_backtrace true;
+  let bt =
+    match Parutil.Parallel.map ~domains:4 detonate (List.init 20 Fun.id) with
+    | _ -> ""
+    | exception Boom 13 -> Printexc.get_backtrace ()
+    | exception _ -> ""
+  in
+  Printexc.record_backtrace prev;
+  check_bool "backtrace mentions the raising worker frame" true
+    (let needle = "test_parallel" in
+     let n = String.length needle and len = String.length bt in
+     let rec scan i =
+       i + n <= len && (String.sub bt i n = needle || scan (i + 1))
+     in
+     scan 0)
+
 let test_recommended_positive () =
   check_bool "at least one domain" true (Parutil.Parallel.recommended_domains () >= 1)
 
@@ -77,6 +101,8 @@ let () =
           Alcotest.test_case "edge sizes" `Quick test_empty_and_singleton;
           Alcotest.test_case "domain counts" `Quick test_explicit_domain_counts;
           Alcotest.test_case "exceptions" `Quick test_exception_propagates;
+          Alcotest.test_case "backtrace preserved" `Quick
+            test_backtrace_preserved;
           Alcotest.test_case "recommended" `Quick test_recommended_positive;
           Alcotest.test_case "compaction batch" `Quick
             test_parallel_compaction_batch;

@@ -1,0 +1,321 @@
+(* Portfolio compaction: the diversification schedule, the
+   (length, signature, index) result rule, invariance of the winner in
+   the domain count and the pruning flag, the pruning counters, the
+   autotune signature tie-break, and byte-identity of the sharded
+   exhaustive solver.  These pin the determinism contract the bench
+   regression gate relies on. *)
+
+module Csdfg = Dataflow.Csdfg
+module Schedule = Cyclo.Schedule
+module Comm = Cyclo.Comm
+module Compaction = Cyclo.Compaction
+module Portfolio = Cyclo.Portfolio
+module Autotune = Cyclo.Autotune
+module Exhaustive = Cyclo.Exhaustive
+module Remap = Cyclo.Remap
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+let sig_of r = Schedule.signature (Portfolio.best r)
+
+let bench_cells =
+  [
+    ("elliptic/linear8", Workloads.Filters.elliptic, Topology.linear_array 8);
+    ( "elliptic/mesh4x4",
+      Workloads.Filters.elliptic,
+      Topology.mesh ~rows:4 ~cols:4 );
+    ("lms4/linear8", Workloads.Kernels.lms ~taps:4, Topology.linear_array 8);
+    ( "lms4/mesh4x4",
+      Workloads.Kernels.lms ~taps:4,
+      Topology.mesh ~rows:4 ~cols:4 );
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Diversification schedule                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_searches () =
+  let s = Portfolio.searches ~k:9 ~lower_bound:5 in
+  check_int "k entries" 9 (List.length s);
+  let nth i = List.nth s i in
+  check_bool "search 0 is the Compaction.run default" true
+    ((nth 0).Portfolio.mode = Remap.With_relaxation
+    && (nth 0).Portfolio.scoring = Remap.Pressure_first
+    && (nth 0).Portfolio.order = Remap.Forward);
+  check_bool "indices 0-3 cover all four (mode, scoring) pairs" true
+    (List.length
+       (List.sort_uniq compare
+          (List.map
+             (fun s -> (s.Portfolio.mode, s.Portfolio.scoring))
+             (List.filteri (fun i _ -> i < 4) s)))
+    = 4);
+  check_bool "order flips to reverse at index 4" true
+    ((nth 4).Portfolio.order = Remap.Reverse);
+  check_int "target ladder sits on the lower bound for rung 0" 5
+    (nth 0).Portfolio.l_target;
+  check_int "target ladder rises at index 8" 6 (nth 8).Portfolio.l_target
+
+(* ------------------------------------------------------------------ *)
+(* Result rule                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* The members list must come back ranked by
+   (best length, signature, search index), with the winner at its head
+   — that ranking IS the determinism contract. *)
+let test_result_rule () =
+  let g = Workloads.Kernels.lms ~taps:4 and topo = Topology.linear_array 4 in
+  let r = Portfolio.run_on ~prune:false ~domains:1 ~validate:false g topo in
+  let keys =
+    List.map
+      (fun m ->
+        let b = m.Portfolio.result.Compaction.best in
+        ( Schedule.length b,
+          Schedule.signature b,
+          m.Portfolio.search.Portfolio.index ))
+      r.Portfolio.members
+  in
+  check_bool "members ranked by (length, signature, index)" true
+    (keys = List.sort compare keys);
+  let win_len, win_sig, _ = List.hd (List.sort compare keys) in
+  check_int "winner has the minimum length"
+    win_len
+    (Schedule.length (Portfolio.best r));
+  check_string "winner carries the minimum key's signature" win_sig (sig_of r);
+  (* the tie-break is exercised for real: several members tie at the
+     winning length with more than one distinct schedule *)
+  let at_min = List.filter (fun (l, _, _) -> l = win_len) keys in
+  check_bool "at least two members tie at the winning length" true
+    (List.length at_min >= 2);
+  List.iter
+    (fun (_, s, _) ->
+      check_bool "winner signature is lexicographically minimal among ties"
+        true
+        (String.compare win_sig s <= 0))
+    at_min
+
+let test_k1_matches_compaction () =
+  List.iter
+    (fun (name, g, topo) ->
+      let p = Portfolio.run_on ~k:1 ~domains:1 ~validate:false g topo in
+      let c = Compaction.run_on ~validate:false g topo in
+      check_string
+        (name ^ ": k=1 winner is the plain Compaction.run schedule")
+        (Schedule.signature c.Compaction.best)
+        (sig_of p))
+    bench_cells
+
+(* ------------------------------------------------------------------ *)
+(* Winner invariance: domains, pruning                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_prune_preserves_winner () =
+  List.iter
+    (fun (name, g, topo) ->
+      let full =
+        Portfolio.run_on ~prune:false ~domains:1 ~validate:false g topo
+      in
+      let pruned = Portfolio.run_on ~validate:false g topo in
+      check_string (name ^ ": pruned winner = full winner") (sig_of full)
+        (sig_of pruned))
+    bench_cells
+
+let small_params =
+  { Workloads.Random_gen.default with nodes = 6; feedback_edges = 2 }
+
+let arch_of_seed =
+  let archs =
+    [|
+      Topology.linear_array 4;
+      Topology.ring 4;
+      Topology.mesh ~rows:2 ~cols:2;
+      Topology.complete 3;
+    |]
+  in
+  fun seed -> archs.(abs seed mod Array.length archs)
+
+let prop_domain_invariance =
+  QCheck.Test.make ~count:25
+    ~name:"portfolio winner is invariant in the domain count"
+    QCheck.(pair (int_range 0 5_000) (int_range 0 5_000))
+    (fun (gseed, aseed) ->
+      let g =
+        Workloads.Random_gen.generate_connected ~params:small_params
+          ~seed:gseed ()
+      in
+      let topo = arch_of_seed aseed in
+      let run d = Portfolio.run_on ~domains:d ~validate:false g topo in
+      let reference = sig_of (run 1) in
+      List.for_all (fun d -> String.equal reference (sig_of (run d))) [ 2; 5 ])
+
+let prop_winner_legal_and_bounded =
+  QCheck.Test.make ~count:25 ~name:"portfolio winner is legal and <= startup"
+    QCheck.(int_range 0 5_000)
+    (fun seed ->
+      let g =
+        Workloads.Random_gen.generate_connected ~params:small_params ~seed ()
+      in
+      let topo = arch_of_seed seed in
+      let r = Portfolio.run_on ~validate:false g topo in
+      Cyclo.Validator.assert_legal (Portfolio.best r);
+      Schedule.length (Portfolio.best r)
+      <= Schedule.length (Cyclo.Startup.run_on g topo)
+      && Schedule.length (Portfolio.best r) >= r.Portfolio.lower_bound)
+
+(* ------------------------------------------------------------------ *)
+(* Pruning bookkeeping                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_pruning_counters () =
+  Obs.Counters.enable ();
+  Obs.Counters.reset ();
+  let r =
+    Portfolio.run_on ~validate:false Workloads.Filters.elliptic
+      (Topology.mesh ~rows:4 ~cols:4)
+  in
+  let dump = Obs.Counters.dump () in
+  Obs.Counters.disable ();
+  let v name = Option.value ~default:0 (List.assoc_opt name dump) in
+  check_bool "some members were pruned" true
+    (List.exists (fun m -> m.Portfolio.pruned) r.Portfolio.members);
+  check_bool "pruned passes accumulated" true (v "portfolio.pruned_passes" > 0);
+  check_int "shared-bound gauge settles on the winner length"
+    (Schedule.length (Portfolio.best r))
+    (v "portfolio.shared_bound");
+  let kind name =
+    List.find_map
+      (fun (n, k, _) -> if String.equal n name then Some k else None)
+      (Obs.Counters.dump_kinds ())
+  in
+  check_bool "shared_bound registered as a gauge" true
+    (kind "portfolio.shared_bound" = Some Obs.Counters.Gauge);
+  check_bool "pruned_passes registered as a counter" true
+    (kind "portfolio.pruned_passes" = Some Obs.Counters.Counter);
+  check_bool "compaction.best_length registered as a gauge" true
+    (kind "compaction.best_length" = Some Obs.Counters.Gauge);
+  (* counters register at module init, so the module must be linked
+     before its names can be classified *)
+  ignore Machine.Simulator.execute;
+  check_bool "simulator.max_link_backlog registered as a gauge" true
+    (kind "simulator.max_link_backlog" = Some Obs.Counters.Gauge)
+
+(* ------------------------------------------------------------------ *)
+(* Autotune tie-break                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Recompute what autotune computes per configuration
+   (Compaction.run + Refine.polish) and check the published winner is
+   the (length, signature) minimum — on a cell where two configurations
+   tie at the minimum length with distinct schedules, so the signature
+   tie-break is what decides. *)
+let test_autotune_signature_tiebreak () =
+  let g = Workloads.Kernels.lms ~taps:4 and topo = Topology.linear_array 4 in
+  let comm = Comm.of_topology topo in
+  let runs =
+    List.map
+      (fun (mode, scoring) ->
+        let p =
+          Cyclo.Refine.polish
+            (Compaction.run ~mode ~scoring ~validate:false g comm)
+        in
+        (Schedule.length p, Schedule.signature p))
+      [
+        (Remap.With_relaxation, Remap.Pressure_first);
+        (Remap.With_relaxation, Remap.Earliest_step);
+        (Remap.Without_relaxation, Remap.Pressure_first);
+        (Remap.Without_relaxation, Remap.Earliest_step);
+      ]
+  in
+  let exp_len, exp_sig = List.hd (List.sort compare runs) in
+  let ties = List.filter (fun (l, _) -> l = exp_len) runs in
+  check_bool "the cell really ties at the minimum length" true
+    (List.length ties >= 2);
+  check_bool "the tie has distinct schedules" true
+    (List.length (List.sort_uniq compare (List.map snd ties)) >= 2);
+  List.iter
+    (fun parallel ->
+      let r = Autotune.run ~parallel g comm in
+      check_int "winner length is the minimum" exp_len
+        r.Autotune.winner.Autotune.length;
+      check_string
+        (Printf.sprintf
+           "winner (parallel=%b) is the lexicographically smallest signature"
+           parallel)
+        exp_sig
+        (Schedule.signature r.Autotune.best))
+    [ false; true ]
+
+let test_autotune_budget_parallel () =
+  let g = Workloads.Filters.elliptic in
+  let comm = Comm.of_topology (Topology.mesh ~rows:4 ~cols:4) in
+  let r = Autotune.run ~parallel:true ~time_budget:0. g comm in
+  check_bool "zero budget skips later configurations" true r.Autotune.exhausted;
+  check_int "the first configuration still ran to completion" 1
+    (List.length r.Autotune.table);
+  let r0 = Autotune.run ~parallel:false ~time_budget:0. g comm in
+  check_string "same deadline semantics with and without domains"
+    (Schedule.signature r0.Autotune.best)
+    (Schedule.signature r.Autotune.best)
+
+(* ------------------------------------------------------------------ *)
+(* Sharded exhaustive search                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_sharded_exhaustive_byte_identical () =
+  let params =
+    { Workloads.Random_gen.default with nodes = 5; feedback_edges = 2 }
+  in
+  List.iter
+    (fun seed ->
+      let g = Workloads.Random_gen.generate_connected ~params ~seed () in
+      List.iter
+        (fun np ->
+          let comm = Comm.of_topology (Topology.complete np) in
+          let reference =
+            match Exhaustive.solve g comm with
+            | Exhaustive.Optimal s -> s
+            | Exhaustive.Gave_up _ ->
+                Alcotest.fail "sequential solver gave up on a tiny instance"
+          in
+          List.iter
+            (fun shards ->
+              match Exhaustive.solve ~shards ~domains:2 g comm with
+              | Exhaustive.Optimal s ->
+                  check_string
+                    (Printf.sprintf "seed %d np %d shards %d" seed np shards)
+                    (Schedule.signature reference)
+                    (Schedule.signature s)
+              | Exhaustive.Gave_up _ ->
+                  Alcotest.fail "sharded solver gave up on a tiny instance")
+            [ 2; 3; 5 ])
+        [ 2; 3 ])
+    [ 1; 2; 3; 4; 5 ]
+
+let () =
+  Alcotest.run "portfolio"
+    [
+      ( "portfolio",
+        [
+          Alcotest.test_case "diversification schedule" `Quick test_searches;
+          Alcotest.test_case "result rule" `Quick test_result_rule;
+          Alcotest.test_case "k=1 = Compaction.run" `Quick
+            test_k1_matches_compaction;
+          Alcotest.test_case "pruning preserves the winner" `Quick
+            test_prune_preserves_winner;
+          Alcotest.test_case "pruning counters" `Quick test_pruning_counters;
+          QCheck_alcotest.to_alcotest prop_domain_invariance;
+          QCheck_alcotest.to_alcotest prop_winner_legal_and_bounded;
+        ] );
+      ( "autotune",
+        [
+          Alcotest.test_case "signature tie-break" `Quick
+            test_autotune_signature_tiebreak;
+          Alcotest.test_case "shared deadline over domains" `Quick
+            test_autotune_budget_parallel;
+        ] );
+      ( "exhaustive-shards",
+        [
+          Alcotest.test_case "byte-identical to sequential" `Quick
+            test_sharded_exhaustive_byte_identical;
+        ] );
+    ]
