@@ -46,6 +46,12 @@ type portfolio = {
   cells : ((string * string) * pf_cell) list;
 }
 
+type service = {
+  hit_speedup_p50 : float;
+  hit_rate : float;
+  cells_p50 : (string * float) list;  (* cell name -> p50 ns *)
+}
+
 type record = {
   line : int;
   host : string;
@@ -55,6 +61,8 @@ type record = {
       (* (workload, topology) -> (startup, best, passes) *)
   portfolio : portfolio option;
       (* absent in records predating the portfolio pair *)
+  service : service option;
+      (* absent in records predating the scheduling service *)
 }
 
 let malformed line what =
@@ -118,8 +126,23 @@ let validate line json =
                        } ));
           }
   in
+  let service =
+    match Obs.Json.member "service" json with
+    | None -> None
+    | Some s ->
+        Some
+          {
+            hit_speedup_p50 = field line s "hit_speedup_p50" Obs.Json.to_num;
+            hit_rate = field line s "hit_rate" Obs.Json.to_num;
+            cells_p50 =
+              field line s "cells" Obs.Json.to_list
+              |> List.map (fun item ->
+                     ( field line item "name" Obs.Json.to_str,
+                       field line item "p50_ns" Obs.Json.to_num ));
+          }
+  in
   { line; host = field line json "host" Obs.Json.to_str; quick; benchmarks;
-    schedules; portfolio }
+    schedules; portfolio; service }
 
 let load path =
   let ic =
@@ -213,6 +236,26 @@ let () =
                     wn tn earlier_cell.winner_len c.winner_len
               | Some _ | None -> ())
             pf.cells);
+      (* scheduling service: the cache contract is absolute, not
+         relative to history — a hit is one lookup plus reply bytes, a
+         miss re-runs the compaction search, so a hit p50 within 10x of
+         the miss p50 means the cache is broken (or the key space
+         degenerated to misses). *)
+      (match candidate.service with
+      | None -> print_endline "no service record; skipping service gate"
+      | Some svc ->
+          Printf.printf "service hit rate %.2f, hit p50 %.1fx below miss p50\n"
+            svc.hit_rate svc.hit_speedup_p50;
+          if svc.hit_speedup_p50 < 10.0 then
+            fail "service: hit p50 only %.1fx below miss p50 (need >= 10x)"
+              svc.hit_speedup_p50;
+          if svc.hit_rate <= 0.0 || svc.hit_rate > 1.0 then
+            fail "service: hit rate %.2f out of (0, 1]" svc.hit_rate;
+          List.iter
+            (fun name ->
+              if not (List.mem_assoc name svc.cells_p50) then
+                fail "service: missing cell %S" name)
+            [ "service_hit"; "service_miss"; "service_replan" ]);
       (* ns/run: same host, same quota class only *)
       (match
          List.find_opt

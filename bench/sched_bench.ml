@@ -282,11 +282,178 @@ let portfolio_summary cells =
   let speedup = if pf > 0. then seq /. pf else 0. in
   (speedup, List.for_all (fun c -> c.winner_match) cells)
 
+(* Scheduling-service cells: a closed-loop client drives a real daemon
+   (own domain, Unix-domain socket) through three phases — distinct
+   schedule requests (all cache misses), repeats of those requests (all
+   hits), and paired replan requests (one miss, one hit per session) —
+   timing each request end-to-end over the wire.  The contract the gate
+   enforces is that serving a hit (one cache lookup plus reply bytes) is
+   at least 10x below the miss path, which re-runs the compaction
+   search; see docs/service.md. *)
+type svc_cell = {
+  svc_name : string;
+  svc_count : int;
+  svc_p50_ns : int;
+  svc_p99_ns : int;
+}
+
+type svc = {
+  svc_cells : svc_cell list;
+  svc_requests : int;
+  svc_hit_rate : float;
+  svc_speedup_p50 : float;  (* miss p50 / hit p50 *)
+}
+
+let percentile samples p =
+  let a = Array.of_list samples in
+  Array.sort compare a;
+  let n = Array.length a in
+  a.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+let cell name samples =
+  {
+    svc_name = name;
+    svc_count = List.length samples;
+    svc_p50_ns = percentile samples 0.50;
+    svc_p99_ns = percentile samples 0.99;
+  }
+
+let service_cells ~quick () =
+  let n_miss = if quick then 24 else 240 in
+  let n_hit = if quick then 240 else 2400 in
+  let n_replan = if quick then 12 else 120 in
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ccsched-bench-%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let ready = Atomic.make false in
+  let srv =
+    Domain.spawn (fun () ->
+        Service.Server.run
+          ~on_ready:(fun () -> Atomic.set ready true)
+          {
+            Service.Server.socket_path = path;
+            capacity = 8192;
+            domains = Some 1;
+            max_clients = 4;
+          })
+  in
+  while not (Atomic.get ready) do
+    Unix.sleepf 0.002
+  done;
+  let conn =
+    match Service.Client.connect path with
+    | Ok c -> c
+    | Error e -> failwith (Service.Client.error_to_string e)
+  in
+  let id = ref 0 in
+  let timed_rpc req =
+    incr id;
+    let line = Service.Protocol.request_to_json ~id:!id req in
+    let t0 = Obs.Trace.now_ns () in
+    match Service.Client.rpc_line conn line with
+    | Ok reply -> (Obs.Trace.now_ns () - t0, reply)
+    | Error e -> failwith (Service.Client.error_to_string e)
+  in
+  let archs = [| "mesh:2x4"; "ring:8"; "hypercube:3"; "linear:8" |] in
+  (* a distinct pass budget per request makes every cache key distinct *)
+  let sched_req i =
+    Service.Protocol.Schedule
+      {
+        graph = Service.Protocol.Workload "fig7";
+        arch = archs.(i mod Array.length archs);
+        knobs =
+          {
+            Service.Protocol.default_knobs with
+            Service.Protocol.passes = Some (24 + i);
+          };
+      }
+  in
+  let sessions = ref [] in
+  let miss_ns =
+    List.init n_miss (fun i ->
+        let ns, reply = timed_rpc (sched_req i) in
+        (match Service.Protocol.parse_reply reply with
+        | Ok (Service.Protocol.Scheduled { session; cached = false; _ }) ->
+            sessions := session :: !sessions
+        | _ -> failwith "service bench: expected an uncached schedule reply");
+        ns)
+  in
+  let hit_ns =
+    List.init n_hit (fun i -> fst (timed_rpc (sched_req (i mod n_miss))))
+  in
+  let sessions = Array.of_list (List.rev !sessions) in
+  let replan_ns =
+    List.concat_map
+      (fun k ->
+        let req =
+          Service.Protocol.Replan
+            {
+              session = sessions.(k mod Array.length sessions);
+              fail_pes = [ 2 ];
+              fail_links = [];
+            }
+        in
+        [ fst (timed_rpc req); fst (timed_rpc req) ])
+      (List.init n_replan Fun.id)
+  in
+  let hit_rate, requests =
+    match
+      Service.Protocol.parse_reply
+        (snd (timed_rpc Service.Protocol.Stats))
+    with
+    | Ok (Service.Protocol.Stats_reply { stats; _ }) ->
+        ( float_of_int stats.Service.Protocol.hits
+          /. float_of_int
+               (max 1 (stats.Service.Protocol.hits + stats.Service.Protocol.misses)),
+          stats.Service.Protocol.requests )
+    | _ -> failwith "service bench: expected a stats reply"
+  in
+  (match
+     Service.Protocol.parse_reply (snd (timed_rpc Service.Protocol.Shutdown))
+   with
+  | Ok (Service.Protocol.Shutdown_ack _) -> ()
+  | _ -> failwith "service bench: expected a shutdown ack");
+  Service.Client.close conn;
+  (match Domain.join srv with
+  | Ok () -> ()
+  | Error msg -> failwith ("service bench: " ^ msg));
+  let miss = cell "service_miss" miss_ns in
+  let hit = cell "service_hit" hit_ns in
+  let replan = cell "service_replan" replan_ns in
+  {
+    svc_cells = [ hit; miss; replan ];
+    svc_requests = requests;
+    svc_hit_rate = hit_rate;
+    svc_speedup_p50 =
+      float_of_int miss.svc_p50_ns /. float_of_int (max 1 hit.svc_p50_ns);
+  }
+
+let service_json svc =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"requests\":%d,\"hit_rate\":%.4f,\"hit_speedup_p50\":%.1f,\
+        \"cells\":["
+       svc.svc_requests svc.svc_hit_rate svc.svc_speedup_p50);
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"count\":%d,\"p50_ns\":%d,\"p99_ns\":%d}"
+           (json_escape c.svc_name) c.svc_count c.svc_p50_ns c.svc_p99_ns))
+    svc.svc_cells;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
 (* One line per run appended to BENCH_history.jsonl; check_regression.ml
    reads it back (schema "ccsched-bench-history/1", see bench/README.md).
    ns/run figures are only comparable between records from the same host
    with the same --quick setting, so both are recorded. *)
-let append_history path ~quick rows sched_rows pf_cells =
+let append_history path ~quick rows sched_rows pf_cells svc =
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
@@ -335,7 +502,9 @@ let append_history path ~quick rows sched_rows pf_cells =
            (json_escape c.pf_workload) (json_escape c.pf_topology) c.seq_ms
            c.pf_ms c.seq_passes c.pf_passes c.winner_len c.winner_match))
     pf_cells;
-  Buffer.add_string buf "]}}\n";
+  Buffer.add_string buf "]},\"service\":";
+  Buffer.add_string buf (service_json svc);
+  Buffer.add_string buf "}\n";
   output_string oc (Buffer.contents buf);
   close_out oc;
   Fmt.pr "appended history record to %s@." path
@@ -356,7 +525,7 @@ let phase_profile () =
   Obs.Counters.disable ();
   (Obs.Trace.aggregate (), Obs.Counters.dump ())
 
-let emit_json path rows pf_cells =
+let emit_json path rows pf_cells svc =
   let find name = List.assoc_opt name rows in
   let speedup =
     match
@@ -408,6 +577,7 @@ let emit_json path rows pf_cells =
         (if i = List.length pf_cells - 1 then "" else ","))
     pf_cells;
   output_string oc "  ]";
+  Printf.fprintf oc ",\n  \"service\": %s" (service_json svc);
   let phases, counters = phase_profile () in
   output_string oc ",\n  \"phases_elliptic_mesh4x4\": [\n";
   List.iteri
@@ -472,5 +642,14 @@ let () =
   Fmt.pr "portfolio aggregate speedup (seq / portfolio): %.2fx, winners %s@."
     pf_speedup
     (if pf_match then "byte-identical" else "DIVERGED");
-  emit_json "BENCH_sched.json" rows pf_cells;
-  append_history "BENCH_history.jsonl" ~quick rows sched_rows pf_cells
+  let svc = service_cells ~quick () in
+  List.iter
+    (fun c ->
+      Fmt.pr "service %-14s %5d requests  p50 %9d ns  p99 %9d ns@." c.svc_name
+        c.svc_count c.svc_p50_ns c.svc_p99_ns)
+    svc.svc_cells;
+  Fmt.pr
+    "service hit rate %.2f over %d requests; hit p50 is %.1fx below miss p50@."
+    svc.svc_hit_rate svc.svc_requests svc.svc_speedup_p50;
+  emit_json "BENCH_sched.json" rows pf_cells svc;
+  append_history "BENCH_history.jsonl" ~quick rows sched_rows pf_cells svc

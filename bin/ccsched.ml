@@ -37,46 +37,9 @@ let load_scenario path =
   | Ok s -> s
   | Error e -> die 3 (path ^ ": " ^ Machine.Faults.error_to_string e)
 
-let parse_arch spec =
-  let fail () =
-    Error
-      (Printf.sprintf
-         "bad architecture %S; use linear:N ring:N complete:N mesh:RxC \
-          torus:RxC hypercube:D star:N tree:N"
-         spec)
-  in
-  match String.split_on_char ':' spec with
-  | [ kind; dims ] -> (
-      let dim2 () =
-        match String.split_on_char 'x' dims with
-        | [ r; c ] -> (
-            match (int_of_string_opt r, int_of_string_opt c) with
-            | Some r, Some c when r > 0 && c > 0 -> Some (r, c)
-            | _ -> None)
-        | _ -> None
-      in
-      match kind with
-      | "mesh" -> (
-          match dim2 () with
-          | Some (r, c) -> Ok (Topology.mesh ~rows:r ~cols:c)
-          | None -> fail ())
-      | "torus" -> (
-          match dim2 () with
-          | Some (r, c) -> Ok (Topology.torus ~rows:r ~cols:c)
-          | None -> fail ())
-      | _ -> (
-          match int_of_string_opt dims with
-          | None -> fail ()
-          | Some n -> (
-              match kind with
-              | "linear" -> Ok (Topology.linear_array n)
-              | "ring" -> Ok (Topology.ring n)
-              | "complete" -> Ok (Topology.complete n)
-              | "hypercube" | "cube" -> Ok (Topology.hypercube n)
-              | "star" -> Ok (Topology.star n)
-              | "tree" -> Ok (Topology.binary_tree n)
-              | _ -> fail ())))
-  | _ -> fail ()
+(* One grammar for every surface: the CLI, the service wire protocol and
+   the docs all go through Topology.of_spec. *)
+let parse_arch = Topology.of_spec
 
 let graph_arg =
   let doc = "Workload name (see $(b,ccsched list)) or path to a .csdfg file." in
@@ -1071,6 +1034,223 @@ let diff_cmd =
              per-node placement moves, and nodes present in only one.")
     Term.(const run $ pos_file 0 "A.json" $ pos_file 1 "B.json")
 
+(* ------------------------------------------------------------------ *)
+(* Scheduling as a service: serve / client                              *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path the daemon listens on." in
+  Arg.(value & opt string "/tmp/ccsched.sock"
+       & info [ "s"; "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let cache_arg =
+    Arg.(value & opt int 256
+         & info [ "cache" ] ~docv:"N"
+             ~doc:"Schedule-cache bound: keep at most $(docv) cached \
+                   schedules, evicting least-recently-used beyond it.")
+  in
+  let max_clients_arg =
+    Arg.(value & opt int 64
+         & info [ "max-clients" ] ~docv:"N"
+             ~doc:"Refuse connections beyond $(docv) concurrent clients.")
+  in
+  let run socket cache max_clients domains profile metrics =
+    if cache < 1 then die 2 "--cache needs N >= 1";
+    if max_clients < 1 then die 2 "--max-clients needs N >= 1";
+    let cfg =
+      { Service.Server.socket_path = socket; capacity = cache; domains;
+        max_clients }
+    in
+    with_observability ~profile ~metrics @@ fun () ->
+    let on_ready () =
+      Fmt.pr "ccsched: listening on %s (rpc %s, cache %d)@." socket
+        Service.Protocol.version cache;
+      (* clients started right after us poll stdout for this line *)
+      flush stdout
+    in
+    match Service.Server.run ~on_ready cfg with
+    | Ok () -> Fmt.pr "ccsched: shut down cleanly@."
+    | Error msg -> die 2 msg
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the scheduling daemon: a Unix-domain-socket NDJSON server \
+             (protocol ccsched-rpc/1, see docs/service.md) with a \
+             content-addressed schedule cache and live replan.")
+    Term.(const run $ socket_arg $ cache_arg $ max_clients_arg $ domains_arg
+          $ profile_arg $ metrics_flag)
+
+let client_cmd =
+  let graph_opt_arg =
+    let doc =
+      "Workload name or .csdfg file path to schedule (omit when using \
+       $(b,--replan), $(b,--stats), $(b,--shutdown) or $(b,--stdin))."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"GRAPH" ~doc)
+  in
+  let replan_arg =
+    Arg.(value & opt (some string) None
+         & info [ "replan" ] ~docv:"SESSION"
+             ~doc:"Replan the cached schedule $(docv) (a session id from an \
+                   earlier reply) around the faults in --fail-pe/--fail-link.")
+  in
+  let fail_pe_arg =
+    Arg.(value & opt_all int []
+         & info [ "fail-pe" ] ~docv:"P"
+             ~doc:"Fail-stop processor $(docv) (1-based; repeatable).")
+  in
+  let fail_link_arg =
+    Arg.(value & opt_all (pair ~sep:',' int int) []
+         & info [ "fail-link" ] ~docv:"A,B"
+             ~doc:"Cut the link between processors A and B (1-based; \
+                   repeatable).")
+  in
+  let stats_flag =
+    Arg.(value & flag
+         & info [ "stats" ] ~doc:"Ask the daemon for its cache statistics.")
+  in
+  let shutdown_flag =
+    Arg.(value & flag
+         & info [ "shutdown" ] ~doc:"Ask the daemon to shut down cleanly.")
+  in
+  let stdin_flag =
+    Arg.(value & flag
+         & info [ "stdin" ]
+             ~doc:"Raw mode: forward each line on stdin to the daemon as-is \
+                   and print each raw reply line (for scripting and fuzzing).")
+  in
+  let wormhole_flag =
+    Arg.(value & flag
+         & info [ "wormhole" ]
+             ~doc:"Wormhole transport (hops + volume - 1) instead of \
+                   store-and-forward.")
+  in
+  (* An error reply is a completed RPC, but the CLI keeps its exit-code
+     discipline: malformed payloads are 3, requests the server refused
+     are 2, server-side failures are 1 (docs/cli.md). *)
+  let exit_code_of_error_code = function
+    | "parse" | "bad_graph" -> 3
+    | "version" | "bad_request" | "unknown_session" -> 2
+    | _ -> 1
+  in
+  let reply_exit line =
+    match Service.Protocol.parse_reply line with
+    | Ok (Service.Protocol.Error_reply { err; _ }) ->
+        exit_code_of_error_code err.Service.Protocol.code
+    | Ok _ -> 0
+    | Error msg -> die 3 ("malformed reply: " ^ msg)
+  in
+  let run socket graph arch mode passes slowdown speeds wormhole replan
+      fail_pes fail_links stats shutdown stdin_mode =
+    let conn =
+      match Service.Client.connect socket with
+      | Ok c -> c
+      | Error e -> die 2 (Service.Client.error_to_string e)
+    in
+    let rpc_or_die line =
+      match Service.Client.rpc_line conn line with
+      | Ok reply ->
+          print_string reply;
+          print_newline ();
+          reply_exit reply
+      | Error e -> die 3 (Service.Client.error_to_string e)
+    in
+    let worst = ref 0 in
+    let send line = worst := max !worst (rpc_or_die line) in
+    let next_id =
+      let n = ref 0 in
+      fun () -> incr n; !n
+    in
+    let send_request request =
+      send
+        (Service.Protocol.request_to_json ~id:(next_id ()) request)
+    in
+    if stdin_mode then begin
+      (try
+         while true do
+           send (input_line stdin)
+         done
+       with End_of_file -> ())
+    end
+    else begin
+      let ops =
+        (if graph <> None then 1 else 0)
+        + (if replan <> None then 1 else 0)
+        + (if stats then 1 else 0)
+        + if shutdown then 1 else 0
+      in
+      if ops = 0 then
+        die 2 "nothing to send: give a GRAPH, --replan, --stats or --shutdown";
+      (match graph with
+      | Some spec ->
+          let graph_spec =
+            if Workloads.Suite.find spec <> None then
+              Service.Protocol.Workload spec
+            else if Sys.file_exists spec then
+              match
+                let ic = open_in spec in
+                Fun.protect
+                  ~finally:(fun () -> close_in ic)
+                  (fun () -> really_input_string ic (in_channel_length ic))
+              with
+              | text -> Service.Protocol.Inline text
+              | exception Sys_error msg -> die 3 msg
+            else
+              die 2
+                (Printf.sprintf
+                   "unknown workload %S (try `ccsched list` or a .csdfg file \
+                    path)"
+                   spec)
+          in
+          let knobs =
+            {
+              Service.Protocol.mode;
+              passes;
+              speeds =
+                (match speeds with
+                | None -> None
+                | Some text -> (
+                    (* validated server-side against the topology *)
+                    let parsed =
+                      String.split_on_char ',' text
+                      |> List.map int_of_string_opt
+                    in
+                    if List.exists Option.is_none parsed then
+                      die 2 (Printf.sprintf "bad --speeds %S" text)
+                    else Some (Array.of_list (List.map Option.get parsed))));
+              slowdown;
+              transport =
+                (if wormhole then Cyclo.Cachekey.Wormhole
+                 else Cyclo.Cachekey.Store_and_forward);
+            }
+          in
+          send_request
+            (Service.Protocol.Schedule { graph = graph_spec; arch; knobs })
+      | None -> ());
+      (match replan with
+      | Some session ->
+          if fail_pes = [] && fail_links = [] then
+            die 2 "--replan needs at least one --fail-pe or --fail-link";
+          send_request
+            (Service.Protocol.Replan { session; fail_pes; fail_links })
+      | None -> ());
+      if stats then send_request Service.Protocol.Stats;
+      if shutdown then send_request Service.Protocol.Shutdown
+    end;
+    Service.Client.close conn;
+    if !worst <> 0 then exit !worst
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Talk to a running ccsched daemon: submit schedule and replan \
+             requests, read cache statistics, or shut it down.  Prints one \
+             raw reply line per request (see docs/service.md).")
+    Term.(const run $ socket_arg $ graph_opt_arg $ arch_arg $ mode_arg
+          $ passes_arg $ slowdown_arg $ speeds_arg $ wormhole_flag
+          $ replan_arg $ fail_pe_arg $ fail_link_arg $ stats_flag
+          $ shutdown_flag $ stdin_flag)
+
 let () =
   let info =
     Cmd.info "ccsched" ~version:"1.0.0"
@@ -1082,7 +1262,8 @@ let () =
     Cmd.group info
       [ list_cmd; show_cmd; schedule_cmd; compare_cmd; export_cmd;
         simulate_cmd; faultsim_cmd; pipeline_cmd; autotune_cmd; partition_cmd;
-        optimal_cmd; validate_cmd; explain_cmd; report_cmd; diff_cmd ]
+        optimal_cmd; validate_cmd; explain_cmd; report_cmd; diff_cmd;
+        serve_cmd; client_cmd ]
   in
   (* ~catch:false so unexpected exceptions reach us: report one line on
      stderr, no backtrace, exit 1.  Cmdliner's own CLI-parse failures

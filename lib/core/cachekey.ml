@@ -1,0 +1,109 @@
+(* Content-addressed cache keys for scheduling requests.
+
+   The key must cover every input the scheduler's reply bytes depend
+   on: the graph (structure, labels and name — the name is printed in
+   the exported schedule), the machine (link structure and name — the
+   communication model's name is printed too), the transport discipline
+   and every knob that steers the search.  Two requests with equal
+   canonical forms therefore produce byte-identical schedules, which is
+   the coherence argument the service cache rests on (DESIGN.md).
+
+   The canonical form is a plain sorted text rendering, hashed with
+   [Digest] (MD5).  MD5 is not collision-resistant against adversaries,
+   but the cache is a performance layer, not an integrity boundary: a
+   forged collision can only make the forger's own request return a
+   stale schedule. *)
+
+module Csdfg = Dataflow.Csdfg
+module G = Digraph.Graph
+
+type transport = Store_and_forward | Wormhole
+
+let transport_name = function
+  | Store_and_forward -> "store-and-forward"
+  | Wormhole -> "wormhole"
+
+let add_graph buf g =
+  Buffer.add_string buf (Printf.sprintf "graph %s\n" (Csdfg.name g));
+  List.iter
+    (fun v ->
+      Buffer.add_string buf
+        (Printf.sprintf "node %s %d\n" (Csdfg.label g v) (Csdfg.time g v)))
+    (Csdfg.nodes g);
+  let edges =
+    List.map
+      (fun (e : Csdfg.attr G.edge) ->
+        (e.G.src, e.G.dst, Csdfg.delay e, Csdfg.volume e))
+      (Csdfg.edges g)
+    |> List.sort compare
+  in
+  List.iter
+    (fun (s, d, delay, volume) ->
+      Buffer.add_string buf
+        (Printf.sprintf "edge %d %d %d %d\n" s d delay volume))
+    edges
+
+let add_topology buf topo =
+  Buffer.add_string buf
+    (Printf.sprintf "topology %s %d\n" (Topology.name topo)
+       (Topology.n_processors topo));
+  let links =
+    List.map
+      (fun (a, b, w) -> if a <= b then (a, b, w) else (b, a, w))
+      (Topology.weighted_links topo)
+    |> List.sort compare
+  in
+  List.iter
+    (fun (a, b, w) ->
+      Buffer.add_string buf (Printf.sprintf "link %d %d %d\n" a b w))
+    links
+
+let canonical ?speeds ?passes ?(slowdown = 1) ~mode ~transport g topo =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "ccsched-cache/1\n";
+  add_graph buf g;
+  add_topology buf topo;
+  Buffer.add_string buf
+    (Printf.sprintf "transport %s\n" (transport_name transport));
+  Buffer.add_string buf
+    (Printf.sprintf "mode %s\n"
+       (match mode with
+       | Remap.With_relaxation -> "relax"
+       | Remap.Without_relaxation -> "strict"));
+  Buffer.add_string buf
+    (match passes with
+    | None -> "passes default\n"
+    | Some n -> Printf.sprintf "passes %d\n" n);
+  Buffer.add_string buf
+    (match speeds with
+    | None -> "speeds uniform\n"
+    | Some a ->
+        Printf.sprintf "speeds %s\n"
+          (String.concat ","
+             (List.map string_of_int (Array.to_list a))));
+  Buffer.add_string buf (Printf.sprintf "slowdown %d\n" slowdown);
+  Buffer.contents buf
+
+let digest ?speeds ?passes ?slowdown ~mode ~transport g topo =
+  Digest.to_hex
+    (Digest.string (canonical ?speeds ?passes ?slowdown ~mode ~transport g topo))
+
+let replan_canonical ~parent ~failed_pes ~failed_links =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "ccsched-cache-replan/1\n";
+  Buffer.add_string buf (Printf.sprintf "parent %s\n" parent);
+  List.iter
+    (fun p -> Buffer.add_string buf (Printf.sprintf "fail-pe %d\n" p))
+    (List.sort_uniq compare failed_pes);
+  List.iter
+    (fun (a, b) ->
+      Buffer.add_string buf (Printf.sprintf "fail-link %d %d\n" a b))
+    (List.sort_uniq compare
+       (List.map
+          (fun (a, b) -> if a <= b then (a, b) else (b, a))
+          failed_links));
+  Buffer.contents buf
+
+let replan_digest ~parent ~failed_pes ~failed_links =
+  Digest.to_hex
+    (Digest.string (replan_canonical ~parent ~failed_pes ~failed_links))

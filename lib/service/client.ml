@@ -1,0 +1,79 @@
+type t = {
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;  (* bytes received beyond the last returned line *)
+  mutable last : string;
+}
+
+type error =
+  | Connect_failed of string
+  | Disconnected
+  | Bad_reply of string
+
+let error_to_string = function
+  | Connect_failed msg -> Printf.sprintf "cannot connect: %s" msg
+  | Disconnected -> "server closed the connection"
+  | Bad_reply msg -> Printf.sprintf "malformed reply: %s" msg
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> Ok { fd; inbuf = Buffer.create 4096; last = "" }
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error
+        (Connect_failed (Printf.sprintf "%s: %s" path (Unix.error_message e)))
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send_all t s =
+  let len = String.length s in
+  let rec go off =
+    if off >= len then Ok ()
+    else
+      match Unix.write_substring t.fd s off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          Error Disconnected
+  in
+  go 0
+
+(* Take one line off the buffer, reading more as needed. *)
+let recv_line t =
+  let chunk = Bytes.create 65536 in
+  let rec take () =
+    let s = Buffer.contents t.inbuf in
+    match String.index_opt s '\n' with
+    | Some i ->
+        Buffer.clear t.inbuf;
+        Buffer.add_substring t.inbuf s (i + 1) (String.length s - i - 1);
+        Ok (String.sub s 0 i)
+    | None -> (
+        match Unix.read t.fd chunk 0 (Bytes.length chunk) with
+        | 0 -> Error Disconnected
+        | n ->
+            Buffer.add_subbytes t.inbuf chunk 0 n;
+            take ()
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+            Error Disconnected)
+  in
+  take ()
+
+let rpc_line t line =
+  match send_all t (line ^ "\n") with
+  | Error _ as e -> e
+  | Ok () -> (
+      match recv_line t with
+      | Error _ as e -> e
+      | Ok reply ->
+          t.last <- reply;
+          Ok reply)
+
+let rpc t ~id request =
+  match rpc_line t (Protocol.request_to_json ~id request) with
+  | Error _ as e -> e
+  | Ok line -> (
+      match Protocol.parse_reply line with
+      | Ok reply -> Ok reply
+      | Error msg -> Error (Bad_reply msg))
+
+let last_reply_line t = t.last

@@ -1,0 +1,35 @@
+(** A blocking client for the [ccsched-rpc/1] service.
+
+    Wraps one Unix-domain connection; used by [ccsched client], the
+    bench closed-loop driver and the tests.  Error cases are split so
+    the CLI can keep its exit-code discipline: a connection that cannot
+    be established is a usage problem (exit 2), while a peer that
+    vanishes or answers garbage mid-conversation is malformed input
+    from the network (exit 3) — see [docs/cli.md]. *)
+
+type t
+
+type error =
+  | Connect_failed of string  (** could not reach the socket — exit 2 *)
+  | Disconnected  (** peer closed mid-conversation — exit 3 *)
+  | Bad_reply of string  (** unparseable reply line — exit 3 *)
+
+val error_to_string : error -> string
+
+val connect : string -> (t, error) result
+(** Connect to a server's socket path ([Connect_failed] on any error). *)
+
+val close : t -> unit
+
+val rpc : t -> id:int -> Protocol.request -> (Protocol.reply, error) result
+(** Send one request and block for its reply line.  The raw reply bytes
+    are kept in {!last_reply_line} so callers needing byte-level
+    fidelity (the golden test, [ccsched client --raw]) can bypass the
+    decoded form. *)
+
+val rpc_line : t -> string -> (string, error) result
+(** Send one already-serialised request line (no newline) and return
+    the raw reply line — the byte-exact path. *)
+
+val last_reply_line : t -> string
+(** The raw bytes of the most recent reply, ["" ] before any. *)

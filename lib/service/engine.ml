@@ -1,0 +1,375 @@
+(* Request handling over the content-addressed schedule cache.
+
+   The cache entry keeps the schedule and its topology (not just the
+   reply bytes) because replan requests need them: a replan looks up
+   its parent session, derives the degraded machine with Cyclo.Degrade
+   and caches the result under its own key — so replans chain and
+   repeat replans are hits.
+
+   Coherence: a key (Cyclo.Cachekey) covers every input the reply
+   bytes depend on, and the scheduler is deterministic, so serving a
+   hit is byte-identical to recomputing — the golden test in
+   test/test_service.ml pins this against the one-shot CLI path. *)
+
+module Csdfg = Dataflow.Csdfg
+module Schedule = Cyclo.Schedule
+module Compaction = Cyclo.Compaction
+module Cachekey = Cyclo.Cachekey
+module P = Protocol
+
+let c_requests = Obs.Counters.counter "service.requests"
+let c_hits = Obs.Counters.counter "service.cache_hits"
+let c_misses = Obs.Counters.counter "service.cache_misses"
+let c_evictions = Obs.Counters.counter "service.cache_evictions"
+
+type replan_info = {
+  strategy : string;
+  migration_cost : int;
+  moved : int;
+  surviving : int;
+}
+
+type entry = {
+  schedule : Schedule.t;
+  topo : Topology.t;
+  schedule_json : string;  (* Export.to_json of [schedule], one line *)
+  length : int;
+  passes : int;
+  replan : replan_info option;
+}
+
+type t = {
+  cache : entry Lru.t;
+  suite : (string, Csdfg.t) Hashtbl.t;
+      (* built-in workloads, constructed and validated once — Suite.find
+         rebuilds every graph per call, far too slow for the hit path *)
+  mutable requests : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(capacity = 256) () =
+  let suite = Hashtbl.create 32 in
+  List.iter
+    (fun (name, g) ->
+      if Result.is_ok (Csdfg.validate g) then Hashtbl.replace suite name g)
+    (Workloads.Suite.all ());
+  { cache = Lru.create ~capacity; suite; requests = 0; hits = 0; misses = 0 }
+
+let stats t =
+  {
+    P.hits = t.hits;
+    misses = t.misses;
+    evictions = Lru.evictions t.cache;
+    entries = Lru.length t.cache;
+    capacity = Lru.capacity t.cache;
+    requests = t.requests;
+  }
+
+let cache_keys t = Lru.keys t.cache
+
+let record_hit t =
+  t.hits <- t.hits + 1;
+  Obs.Counters.incr c_hits
+
+let record_miss t =
+  t.misses <- t.misses + 1;
+  Obs.Counters.incr c_misses
+
+(* ------------------------------------------------------------------ *)
+(* Schedule requests                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type prepared = {
+  key : string;
+  graph : Csdfg.t;  (* resolved, before slow-down *)
+  p_topo : Topology.t;
+  knobs : P.knobs;
+}
+
+let err code fmt = Printf.ksprintf (fun message -> { P.code; message }) fmt
+
+let resolve t ~graph ~arch (knobs : P.knobs) =
+  let ( let* ) = Result.bind in
+  let* g =
+    match graph with
+    | P.Workload name -> (
+        match Hashtbl.find_opt t.suite name with
+        | Some g -> Ok g
+        | None ->
+            Error
+              (err "bad_request" "unknown workload %S (see `ccsched list`)"
+                 name))
+    | P.Inline text -> (
+        let* g =
+          match Dataflow.Io.of_string text with
+          | Ok g -> Ok g
+          | Error e ->
+              Error (err "bad_graph" "%s" (Dataflow.Io.error_to_string e))
+        in
+        match Csdfg.validate g with
+        | Ok () -> Ok g
+        | Error (v :: _) ->
+            Error
+              (err "bad_graph" "illegal CSDFG: %s"
+                 (Fmt.str "%a" (Csdfg.pp_violation g) v))
+        | Error [] -> Ok g)
+  in
+  let* topo =
+    match Topology.of_spec arch with
+    | Ok topo -> Ok topo
+    | Error msg -> Error (err "bad_request" "%s" msg)
+  in
+  let* () =
+    match knobs.P.speeds with
+    | None -> Ok ()
+    | Some a when Array.length a = Topology.n_processors topo -> Ok ()
+    | Some a ->
+        Error
+          (err "bad_request" "\"speeds\" needs %d entries for %s, got %d"
+             (Topology.n_processors topo) (Topology.name topo)
+             (Array.length a))
+  in
+  let key =
+    Cachekey.digest ?speeds:knobs.P.speeds ?passes:knobs.P.passes
+      ~slowdown:knobs.P.slowdown ~mode:knobs.P.mode
+      ~transport:knobs.P.transport g topo
+  in
+  Ok { key; graph = g; p_topo = topo; knobs }
+
+(* The exact one-shot pipeline: slow-down transform, then compaction
+   under the requested transport.  Deterministic, and shared state free
+   so batches may run it on any domain. *)
+let compute prep =
+  let k = prep.knobs in
+  let g =
+    if k.P.slowdown > 1 then Dataflow.Transform.slowdown prep.graph k.P.slowdown
+    else prep.graph
+  in
+  let comm =
+    match k.P.transport with
+    | Cachekey.Store_and_forward -> Cyclo.Comm.of_topology prep.p_topo
+    | Cachekey.Wormhole -> Cyclo.Comm.wormhole prep.p_topo
+  in
+  match
+    Compaction.run ~mode:k.P.mode ?speeds:k.P.speeds ?passes:k.P.passes g comm
+  with
+  | r ->
+      let best = r.Compaction.best in
+      Ok
+        {
+          schedule = best;
+          topo = prep.p_topo;
+          schedule_json = Cyclo.Export.to_json best;
+          length = Schedule.length best;
+          passes = List.length r.Compaction.trace;
+          replan = None;
+        }
+  | exception (Invalid_argument msg | Failure msg) ->
+      Error (err "internal" "scheduling failed: %s" msg)
+
+let commit t key entry =
+  let before = Lru.evictions t.cache in
+  Lru.add t.cache key entry;
+  let evicted = Lru.evictions t.cache - before in
+  if evicted > 0 then Obs.Counters.incr ~by:evicted c_evictions
+
+let scheduled_reply ~id ~key ~cached entry =
+  P.Scheduled
+    {
+      id;
+      session = key;
+      cached;
+      length = entry.length;
+      passes = entry.passes;
+      schedule_json = entry.schedule_json;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Replan requests                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let replanned_reply ~id ~key ~cached entry info =
+  P.Replanned
+    {
+      id;
+      session = key;
+      cached;
+      strategy = info.strategy;
+      migration_cost = info.migration_cost;
+      moved = info.moved;
+      length = entry.length;
+      surviving = info.surviving;
+      schedule_json = entry.schedule_json;
+    }
+
+let replan_entry t ~session ~fail_pes ~fail_links =
+  let ( let* ) = Result.bind in
+  let* parent =
+    match Lru.find t.cache session with
+    | Some e -> Ok e
+    | None ->
+        Error
+          (err "unknown_session"
+             "no cached schedule for session %s (never created, or evicted \
+              — re-send the schedule request)"
+             session)
+  in
+  let np = Topology.n_processors parent.topo in
+  let* () =
+    match
+      List.find_opt (fun p -> p < 1 || p > np) fail_pes
+    with
+    | Some p ->
+        Error
+          (err "bad_request" "fail_pes entry %d out of range 1..%d" p np)
+    | None -> (
+        match
+          List.find_opt
+            (fun (a, b) -> a < 1 || a > np || b < 1 || b > np || a = b)
+            fail_links
+        with
+        | Some (a, b) ->
+            Error
+              (err "bad_request"
+                 "fail_links entry [%d,%d] is not a pair of distinct \
+                  processors in 1..%d"
+                 a b np)
+        | None -> Ok ())
+  in
+  let failed_pes = List.map (fun p -> p - 1) fail_pes in
+  let failed_links = List.map (fun (a, b) -> (a - 1, b - 1)) fail_links in
+  match
+    Cyclo.Degrade.replan parent.schedule parent.topo ~failed_pes ~failed_links
+  with
+  | Ok plan ->
+      let sched = plan.Cyclo.Degrade.schedule in
+      let info =
+        {
+          strategy =
+            (match plan.Cyclo.Degrade.strategy with
+            | Cyclo.Degrade.Patched -> "patched"
+            | Cyclo.Degrade.Rebuilt -> "rebuilt");
+          migration_cost = plan.Cyclo.Degrade.migration_cost;
+          moved = List.length plan.Cyclo.Degrade.moved;
+          surviving = Array.length plan.Cyclo.Degrade.surviving;
+        }
+      in
+      Ok
+        {
+          schedule = sched;
+          topo = plan.Cyclo.Degrade.topology;
+          schedule_json = Cyclo.Export.to_json sched;
+          length = Schedule.length sched;
+          passes = 0;
+          replan = Some info;
+        }
+  | Error msg -> Error (err "replan_failed" "%s" msg)
+  | exception (Invalid_argument msg | Failure msg) ->
+      Error (err "replan_failed" "%s" msg)
+
+(* ------------------------------------------------------------------ *)
+(* Dispatch                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* [precomputed] carries batch-parallel compute results keyed by cache
+   key; each is consumed (committed + counted as the miss) by the first
+   request that needs it, so later identical requests in the same batch
+   hit the cache exactly as they would sequentially. *)
+let handle_with ?precomputed t ~id request =
+  t.requests <- t.requests + 1;
+  Obs.Counters.incr c_requests;
+  match request with
+  | P.Stats -> P.Stats_reply { id; stats = stats t }
+  | P.Shutdown -> P.Shutdown_ack { id }
+  | P.Schedule { graph; arch; knobs } -> (
+      match resolve t ~graph ~arch knobs with
+      | Error e -> P.Error_reply { id = Some id; err = e }
+      | Ok prep -> (
+          match Lru.find t.cache prep.key with
+          | Some entry ->
+              record_hit t;
+              scheduled_reply ~id ~key:prep.key ~cached:true entry
+          | None -> (
+              let computed =
+                match
+                  Option.bind precomputed (fun tbl ->
+                      let r = Hashtbl.find_opt tbl prep.key in
+                      Hashtbl.remove tbl prep.key;
+                      r)
+                with
+                | Some r -> r
+                | None -> compute prep
+              in
+              record_miss t;
+              match computed with
+              | Ok entry ->
+                  commit t prep.key entry;
+                  scheduled_reply ~id ~key:prep.key ~cached:false entry
+              | Error e -> P.Error_reply { id = Some id; err = e })))
+  | P.Replan { session; fail_pes; fail_links } -> (
+      let key = Cachekey.replan_digest ~parent:session ~failed_pes:fail_pes
+          ~failed_links:fail_links
+      in
+      match Lru.find t.cache key with
+      | Some ({ replan = Some info; _ } as entry) ->
+          record_hit t;
+          replanned_reply ~id ~key ~cached:true entry info
+      | Some { replan = None; _ } | None -> (
+          match replan_entry t ~session ~fail_pes ~fail_links with
+          | Ok ({ replan = Some info; _ } as entry) ->
+              record_miss t;
+              commit t key entry;
+              replanned_reply ~id ~key ~cached:false entry info
+          | Ok { replan = None; _ } ->
+              P.Error_reply
+                { id = Some id; err = err "internal" "replan lost its plan" }
+          | Error e -> P.Error_reply { id = Some id; err = e }))
+
+let handle t ~id request = handle_with t ~id request
+
+let continue_of_request = function P.Shutdown -> `Shutdown | _ -> `Continue
+
+let handle_line_with ?precomputed t line =
+  match P.parse_request line with
+  | Error (id, e) ->
+      t.requests <- t.requests + 1;
+      Obs.Counters.incr c_requests;
+      (P.reply_to_json (P.Error_reply { id; err = e }), `Continue)
+  | Ok (id, request) ->
+      ( P.reply_to_json (handle_with ?precomputed t ~id request),
+        continue_of_request request )
+
+let handle_line t line = handle_line_with t line
+
+let handle_batch ?domains t lines =
+  (* Phase 1: resolve every line and collect the distinct schedule keys
+     that miss the cache right now; compute those in parallel.  Replans
+     stay sequential in phase 2 — they may chain on schedule sessions
+     committed earlier in the same batch, and their patch/rebuild cost
+     is a fraction of a compaction search. *)
+  let jobs = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun line ->
+      match P.parse_request line with
+      | Ok (_, P.Schedule { graph; arch; knobs }) -> (
+          match resolve t ~graph ~arch knobs with
+          | Ok prep
+            when (not (Lru.mem t.cache prep.key))
+                 && not (Hashtbl.mem jobs prep.key) ->
+              Hashtbl.add jobs prep.key prep;
+              order := prep.key :: !order
+          | Ok _ | Error _ -> ())
+      | Ok _ | Error _ -> ())
+    lines;
+  let keys = List.rev !order in
+  let precomputed = Hashtbl.create (List.length keys) in
+  List.combine keys
+    (Parutil.Parallel.map ?domains
+       (fun key -> compute (Hashtbl.find jobs key))
+       keys)
+  |> List.iter (fun (key, result) -> Hashtbl.add precomputed key result);
+  (* Phase 2: sequential dispatch in request order — byte-identical to
+     handle_line on each line in turn. *)
+  List.map (fun line -> handle_line_with ~precomputed t line) lines

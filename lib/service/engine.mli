@@ -1,0 +1,45 @@
+(** The scheduling-service request engine.
+
+    One engine holds the content-addressed schedule cache and answers
+    {!Protocol} requests; the socket {!Server} and the tests drive it
+    directly.  All cache access happens on the caller's thread — the
+    engine itself is not thread-safe.  What {e is} parallel is the
+    compaction work: {!handle_batch} fans the cache-missing schedule
+    computations of a whole batch over [Parutil] domains, then commits
+    and replies in request order, so a batch's replies, cache state and
+    statistics are byte-identical to processing the same lines
+    sequentially with {!handle_line} (pinned by
+    [test/test_service.ml]).
+
+    Statistics are kept unconditionally (the [stats] RPC must work
+    without observability enabled) and mirrored into [Obs.Counters]
+    ([service.cache_hits], [service.cache_misses], [service.requests],
+    [service.cache_evictions]) when that registry is on. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A fresh engine with an empty cache.  [capacity] (default 256) bounds
+    the number of cached schedules; beyond it the least-recently-used
+    entry — schedule or replan alike — is evicted.
+    @raise Invalid_argument when [capacity < 1]. *)
+
+val handle : t -> id:int -> Protocol.request -> Protocol.reply
+(** Answer one request.  Never raises: every failure mode becomes an
+    [Error_reply].  A [Shutdown] request is acknowledged but acting on
+    it is the caller's job. *)
+
+val handle_line : t -> string -> string * [ `Continue | `Shutdown ]
+(** Parse one request line, handle it, serialise the reply (no trailing
+    newline).  [`Shutdown] flags an acknowledged shutdown request. *)
+
+val handle_batch :
+  ?domains:int -> t -> string list -> (string * [ `Continue | `Shutdown ]) list
+(** {!handle_line} over a batch, with all cache-missing schedule
+    computations run in parallel over [domains] (default: all cores).
+    Replies are returned in request order and are byte-identical to the
+    sequential ones. *)
+
+val stats : t -> Protocol.stats
+val cache_keys : t -> string list
+(** Cached session keys, most-recently-used first (tests, debugging). *)

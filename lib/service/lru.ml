@@ -1,0 +1,87 @@
+(* Hash table over an intrusive doubly-linked recency list: [first] is
+   the most recently used node, [last] the eviction victim. *)
+
+type 'a node = {
+  key : string;
+  mutable value : 'a;
+  mutable prev : 'a node option;
+  mutable next : 'a node option;
+}
+
+type 'a t = {
+  capacity : int;
+  table : (string, 'a node) Hashtbl.t;
+  mutable first : 'a node option;
+  mutable last : 'a node option;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Lru.create: capacity must be >= 1";
+  {
+    capacity;
+    table = Hashtbl.create (min capacity 64);
+    first = None;
+    last = None;
+    evictions = 0;
+  }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.table
+let evictions t = t.evictions
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.first <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.last <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.first;
+  (match t.first with Some f -> f.prev <- Some node | None -> t.last <- Some node);
+  t.first <- Some node
+
+let touch t node =
+  match t.first with
+  | Some f when f == node -> ()
+  | _ ->
+      unlink t node;
+      push_front t node
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some node ->
+      touch t node;
+      Some node.value
+
+let mem t key = Hashtbl.mem t.table key
+
+let add t key value =
+  match Hashtbl.find_opt t.table key with
+  | Some node ->
+      node.value <- value;
+      touch t node
+  | None ->
+      if Hashtbl.length t.table >= t.capacity then begin
+        match t.last with
+        | Some victim ->
+            unlink t victim;
+            Hashtbl.remove t.table victim.key;
+            t.evictions <- t.evictions + 1
+        | None -> ()
+      end;
+      let node = { key; value; prev = None; next = None } in
+      push_front t node;
+      Hashtbl.add t.table key node
+
+let keys t =
+  let rec walk acc = function
+    | None -> List.rev acc
+    | Some node -> walk (node.key :: acc) node.next
+  in
+  walk [] t.first

@@ -1,0 +1,31 @@
+(** A bounded least-recently-used map from string keys to values.
+
+    The schedule cache's eviction policy: at most [capacity] entries;
+    inserting beyond that evicts the entry whose last {!find} or {!add}
+    is oldest.  Plain O(1) hash-table-plus-intrusive-list, no
+    synchronisation — the service engine serialises all cache access on
+    the event-loop thread (see [docs/service.md], "cache coherence"). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument when [capacity < 1]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val evictions : 'a t -> int
+(** Entries evicted by the size bound since {!create}. *)
+
+val find : 'a t -> string -> 'a option
+(** Lookup; a hit refreshes the entry's recency. *)
+
+val mem : 'a t -> string -> bool
+(** Lookup {e without} refreshing recency. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert or replace, marking the key most-recently-used; evicts the
+    least-recently-used entry when the bound is exceeded. *)
+
+val keys : 'a t -> string list
+(** All keys, most-recently-used first. *)

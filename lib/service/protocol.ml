@@ -1,0 +1,468 @@
+(* ccsched-rpc/1: newline-delimited JSON requests and replies.
+
+   Parsing builds on the Obs.Json reader the repo already ships;
+   serialisation is hand-rolled single-line JSON like every other
+   emitter here.  Everything is total: a malformed line becomes an
+   [Error_reply] with a machine-readable code, never an exception. *)
+
+module Json = Obs.Json
+
+let version = "ccsched-rpc/1"
+
+type graph_spec = Workload of string | Inline of string
+
+type knobs = {
+  mode : Cyclo.Remap.mode;
+  passes : int option;
+  speeds : int array option;
+  slowdown : int;
+  transport : Cyclo.Cachekey.transport;
+}
+
+let default_knobs =
+  {
+    mode = Cyclo.Remap.With_relaxation;
+    passes = None;
+    speeds = None;
+    slowdown = 1;
+    transport = Cyclo.Cachekey.Store_and_forward;
+  }
+
+type request =
+  | Schedule of { graph : graph_spec; arch : string; knobs : knobs }
+  | Replan of {
+      session : string;
+      fail_pes : int list;
+      fail_links : (int * int) list;
+    }
+  | Stats
+  | Shutdown
+
+type err = { code : string; message : string }
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+  requests : int;
+}
+
+type reply =
+  | Scheduled of {
+      id : int;
+      session : string;
+      cached : bool;
+      length : int;
+      passes : int;
+      schedule_json : string;
+    }
+  | Replanned of {
+      id : int;
+      session : string;
+      cached : bool;
+      strategy : string;
+      migration_cost : int;
+      moved : int;
+      length : int;
+      surviving : int;
+      schedule_json : string;
+    }
+  | Stats_reply of { id : int; stats : stats }
+  | Shutdown_ack of { id : int }
+  | Error_reply of { id : int option; err : err }
+
+(* ------------------------------------------------------------------ *)
+(* Escaping                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Request parsing                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let fail code fmt = Printf.ksprintf (fun message -> Error { code; message }) fmt
+
+let parse_knobs json =
+  let ( let* ) = Result.bind in
+  let* mode =
+    match Json.member "mode" json with
+    | None -> Ok Cyclo.Remap.With_relaxation
+    | Some (Json.Str "relax") -> Ok Cyclo.Remap.With_relaxation
+    | Some (Json.Str "strict") -> Ok Cyclo.Remap.Without_relaxation
+    | Some _ -> fail "bad_request" "\"mode\" must be \"relax\" or \"strict\""
+  in
+  let* transport =
+    match Json.member "transport" json with
+    | None -> Ok Cyclo.Cachekey.Store_and_forward
+    | Some (Json.Str "store-and-forward") ->
+        Ok Cyclo.Cachekey.Store_and_forward
+    | Some (Json.Str "wormhole") -> Ok Cyclo.Cachekey.Wormhole
+    | Some _ ->
+        fail "bad_request"
+          "\"transport\" must be \"store-and-forward\" or \"wormhole\""
+  in
+  let* passes =
+    match Json.member "passes" json with
+    | None | Some Json.Null -> Ok None
+    | Some v -> (
+        match Json.to_int v with
+        | Some n when n >= 1 -> Ok (Some n)
+        | _ -> fail "bad_request" "\"passes\" must be an integer >= 1")
+  in
+  let* slowdown =
+    match Json.member "slowdown" json with
+    | None -> Ok 1
+    | Some v -> (
+        match Json.to_int v with
+        | Some k when k >= 1 -> Ok k
+        | _ -> fail "bad_request" "\"slowdown\" must be an integer >= 1")
+  in
+  let* speeds =
+    match Json.member "speeds" json with
+    | None | Some Json.Null -> Ok None
+    | Some v -> (
+        match
+          Option.map (List.map Json.to_int) (Json.to_list v)
+        with
+        | Some ints when List.for_all Option.is_some ints ->
+            let a = Array.of_list (List.map Option.get ints) in
+            if Array.length a = 0 || Array.exists (fun s -> s <= 0) a then
+              fail "bad_request" "\"speeds\" entries must be positive"
+            else Ok (Some a)
+        | _ -> fail "bad_request" "\"speeds\" must be an array of integers")
+  in
+  Ok { mode; passes; speeds; slowdown; transport }
+
+let parse_pe_list name json =
+  match Json.member name json with
+  | None -> Ok []
+  | Some v -> (
+      match Option.map (List.map Json.to_int) (Json.to_list v) with
+      | Some ints when List.for_all Option.is_some ints ->
+          Ok (List.map Option.get ints)
+      | _ -> fail "bad_request" "%S must be an array of integers" name)
+
+let parse_link_list name json =
+  match Json.member name json with
+  | None -> Ok []
+  | Some v -> (
+      let link item =
+        match Option.map (List.map Json.to_int) (Json.to_list item) with
+        | Some [ Some a; Some b ] -> Some (a, b)
+        | _ -> None
+      in
+      match Option.map (List.map link) (Json.to_list v) with
+      | Some links when List.for_all Option.is_some links ->
+          Ok (List.map Option.get links)
+      | _ -> fail "bad_request" "%S must be an array of [a,b] pairs" name)
+
+let parse_request line =
+  let ( let* ) r f =
+    match r with Ok v -> f v | Error e -> Error (None, e)
+  in
+  let* json =
+    match Json.parse line with
+    | Ok json -> Ok json
+    | Error msg -> fail "parse" "request is not valid JSON: %s" msg
+  in
+  let id = Option.bind (Json.member "id" json) Json.to_int in
+  let with_id r = Result.map_error (fun e -> (id, e)) r in
+  let ( let* ) r f = Result.bind (with_id r) f in
+  let* () =
+    match Json.member "rpc" json with
+    | Some (Json.Str v) when v = version -> Ok ()
+    | Some (Json.Str v) ->
+        fail "version" "unsupported protocol %S (this server speaks %s)" v
+          version
+    | _ -> fail "version" "missing \"rpc\" field (expected %S)" version
+  in
+  let* id =
+    match id with
+    | Some id when id >= 0 -> Ok id
+    | Some _ -> fail "bad_request" "\"id\" must be a non-negative integer"
+    | None -> fail "bad_request" "missing \"id\" field"
+  in
+  let with_id r = Result.map_error (fun e -> (Some id, e)) r in
+  let ( let* ) r f = Result.bind (with_id r) f in
+  let* op =
+    match Option.bind (Json.member "op" json) Json.to_str with
+    | Some op -> Ok op
+    | None -> fail "bad_request" "missing \"op\" field"
+  in
+  let request =
+    match op with
+    | "schedule" ->
+        let* graph =
+          match (Json.member "workload" json, Json.member "graph" json) with
+          | Some (Json.Str w), None -> Ok (Workload w)
+          | None, Some (Json.Str text) -> Ok (Inline text)
+          | Some _, Some _ ->
+              fail "bad_request"
+                "give either \"workload\" or \"graph\", not both"
+          | _ ->
+              fail "bad_request"
+                "a schedule request needs a \"workload\" name or an inline \
+                 \"graph\""
+        in
+        let* arch =
+          match Option.bind (Json.member "arch" json) Json.to_str with
+          | Some a -> Ok a
+          | None -> fail "bad_request" "missing \"arch\" field"
+        in
+        let* knobs = parse_knobs json in
+        Ok (Schedule { graph; arch; knobs })
+    | "replan" ->
+        let* session =
+          match Option.bind (Json.member "session" json) Json.to_str with
+          | Some s -> Ok s
+          | None -> fail "bad_request" "missing \"session\" field"
+        in
+        let* fail_pes = parse_pe_list "fail_pes" json in
+        let* fail_links = parse_link_list "fail_links" json in
+        if fail_pes = [] && fail_links = [] then
+          with_id
+            (fail "bad_request"
+               "a replan needs at least one \"fail_pes\" or \"fail_links\" \
+                entry")
+        else Ok (Replan { session; fail_pes; fail_links })
+    | "stats" -> Ok Stats
+    | "shutdown" -> Ok Shutdown
+    | op ->
+        with_id
+          (fail "bad_request"
+             "unknown op %S (expected schedule, replan, stats or shutdown)" op)
+  in
+  Result.map (fun request -> (id, request)) request
+
+(* ------------------------------------------------------------------ *)
+(* Serialisation                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let request_to_json ~id request =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"rpc\":\"%s\",\"id\":%d" version id);
+  (match request with
+  | Schedule { graph; arch; knobs } ->
+      Buffer.add_string buf ",\"op\":\"schedule\"";
+      (match graph with
+      | Workload w ->
+          Buffer.add_string buf
+            (Printf.sprintf ",\"workload\":\"%s\"" (json_escape w))
+      | Inline text ->
+          Buffer.add_string buf
+            (Printf.sprintf ",\"graph\":\"%s\"" (json_escape text)));
+      Buffer.add_string buf
+        (Printf.sprintf ",\"arch\":\"%s\"" (json_escape arch));
+      if knobs.mode <> default_knobs.mode then
+        Buffer.add_string buf ",\"mode\":\"strict\"";
+      if knobs.transport <> default_knobs.transport then
+        Buffer.add_string buf ",\"transport\":\"wormhole\"";
+      (match knobs.passes with
+      | Some n -> Buffer.add_string buf (Printf.sprintf ",\"passes\":%d" n)
+      | None -> ());
+      if knobs.slowdown <> 1 then
+        Buffer.add_string buf
+          (Printf.sprintf ",\"slowdown\":%d" knobs.slowdown);
+      (match knobs.speeds with
+      | Some a ->
+          Buffer.add_string buf
+            (Printf.sprintf ",\"speeds\":[%s]"
+               (String.concat ","
+                  (List.map string_of_int (Array.to_list a))))
+      | None -> ())
+  | Replan { session; fail_pes; fail_links } ->
+      Buffer.add_string buf
+        (Printf.sprintf ",\"op\":\"replan\",\"session\":\"%s\""
+           (json_escape session));
+      if fail_pes <> [] then
+        Buffer.add_string buf
+          (Printf.sprintf ",\"fail_pes\":[%s]"
+             (String.concat "," (List.map string_of_int fail_pes)));
+      if fail_links <> [] then
+        Buffer.add_string buf
+          (Printf.sprintf ",\"fail_links\":[%s]"
+             (String.concat ","
+                (List.map
+                   (fun (a, b) -> Printf.sprintf "[%d,%d]" a b)
+                   fail_links)))
+  | Stats -> Buffer.add_string buf ",\"op\":\"stats\""
+  | Shutdown -> Buffer.add_string buf ",\"op\":\"shutdown\"");
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+let reply_to_json = function
+  | Scheduled { id; session; cached; length; passes; schedule_json } ->
+      Printf.sprintf
+        "{\"rpc\":\"%s\",\"id\":%d,\"ok\":true,\"op\":\"schedule\",\
+         \"session\":\"%s\",\"cached\":%b,\"length\":%d,\"passes\":%d,\
+         \"schedule\":%s}"
+        version id (json_escape session) cached length passes schedule_json
+  | Replanned
+      {
+        id;
+        session;
+        cached;
+        strategy;
+        migration_cost;
+        moved;
+        length;
+        surviving;
+        schedule_json;
+      } ->
+      Printf.sprintf
+        "{\"rpc\":\"%s\",\"id\":%d,\"ok\":true,\"op\":\"replan\",\
+         \"session\":\"%s\",\"cached\":%b,\"strategy\":\"%s\",\
+         \"migration_cost\":%d,\"moved\":%d,\"length\":%d,\"surviving\":%d,\
+         \"schedule\":%s}"
+        version id (json_escape session) cached strategy migration_cost moved
+        length surviving schedule_json
+  | Stats_reply { id; stats } ->
+      Printf.sprintf
+        "{\"rpc\":\"%s\",\"id\":%d,\"ok\":true,\"op\":\"stats\",\"stats\":\
+         {\"hits\":%d,\"misses\":%d,\"evictions\":%d,\"entries\":%d,\
+         \"capacity\":%d,\"requests\":%d}}"
+        version id stats.hits stats.misses stats.evictions stats.entries
+        stats.capacity stats.requests
+  | Shutdown_ack { id } ->
+      Printf.sprintf
+        "{\"rpc\":\"%s\",\"id\":%d,\"ok\":true,\"op\":\"shutdown\"}" version
+        id
+  | Error_reply { id; err } ->
+      Printf.sprintf
+        "{\"rpc\":\"%s\",\"id\":%s,\"ok\":false,\"error\":{\"code\":\"%s\",\
+         \"message\":\"%s\"}}"
+        version
+        (match id with Some id -> string_of_int id | None -> "null")
+        (json_escape err.code) (json_escape err.message)
+
+(* ------------------------------------------------------------------ *)
+(* Reply parsing (client side)                                          *)
+(* ------------------------------------------------------------------ *)
+
+let parse_reply line =
+  let ( let* ) = Result.bind in
+  let* json =
+    match Obs.Json.parse line with
+    | Ok json -> Ok json
+    | Error msg -> Error (Printf.sprintf "reply is not valid JSON: %s" msg)
+  in
+  let str name = Option.bind (Json.member name json) Json.to_str in
+  let int name = Option.bind (Json.member name json) Json.to_int in
+  let require what = function
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "reply is missing %S" what)
+  in
+  let* () =
+    match str "rpc" with
+    | Some v when v = version -> Ok ()
+    | Some v -> Error (Printf.sprintf "unsupported protocol %S in reply" v)
+    | None -> Error "reply is missing \"rpc\""
+  in
+  match Json.member "ok" json with
+  | Some (Json.Bool false) ->
+      let id = int "id" in
+      let* e = require "error" (Json.member "error" json) in
+      let code =
+        Option.value ~default:"internal"
+          (Option.bind (Json.member "code" e) Json.to_str)
+      in
+      let message =
+        Option.value ~default:""
+          (Option.bind (Json.member "message" e) Json.to_str)
+      in
+      Ok (Error_reply { id; err = { code; message } })
+  | Some (Json.Bool true) -> (
+      let* id = require "id" (int "id") in
+      let* op = require "op" (str "op") in
+      (* the raw schedule object is re-serialised from the parsed JSON
+         only for classification; clients that need the exact one-shot
+         bytes slice them out of the line (see Client.schedule_field) *)
+      match op with
+      | "schedule" ->
+          let* session = require "session" (str "session") in
+          let cached =
+            match Json.member "cached" json with
+            | Some (Json.Bool b) -> b
+            | _ -> false
+          in
+          let* length = require "length" (int "length") in
+          let* passes = require "passes" (int "passes") in
+          let* _ = require "schedule" (Json.member "schedule" json) in
+          Ok
+            (Scheduled
+               { id; session; cached; length; passes; schedule_json = "" })
+      | "replan" ->
+          let* session = require "session" (str "session") in
+          let cached =
+            match Json.member "cached" json with
+            | Some (Json.Bool b) -> b
+            | _ -> false
+          in
+          let* strategy = require "strategy" (str "strategy") in
+          let* migration_cost = require "migration_cost" (int "migration_cost") in
+          let* moved = require "moved" (int "moved") in
+          let* length = require "length" (int "length") in
+          let* surviving = require "surviving" (int "surviving") in
+          let* _ = require "schedule" (Json.member "schedule" json) in
+          Ok
+            (Replanned
+               {
+                 id;
+                 session;
+                 cached;
+                 strategy;
+                 migration_cost;
+                 moved;
+                 length;
+                 surviving;
+                 schedule_json = "";
+               })
+      | "stats" ->
+          let* s = require "stats" (Json.member "stats" json) in
+          let sint name =
+            Option.value ~default:0
+              (Option.bind (Json.member name s) Json.to_int)
+          in
+          Ok
+            (Stats_reply
+               {
+                 id;
+                 stats =
+                   {
+                     hits = sint "hits";
+                     misses = sint "misses";
+                     evictions = sint "evictions";
+                     entries = sint "entries";
+                     capacity = sint "capacity";
+                     requests = sint "requests";
+                   };
+               })
+      | "shutdown" -> Ok (Shutdown_ack { id })
+      | op -> Error (Printf.sprintf "unknown op %S in reply" op))
+  | _ -> Error "reply is missing \"ok\""
+
+let reply_id = function
+  | Scheduled { id; _ }
+  | Replanned { id; _ }
+  | Stats_reply { id; _ }
+  | Shutdown_ack { id } ->
+      Some id
+  | Error_reply { id; _ } -> id

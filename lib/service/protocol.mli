@@ -1,0 +1,101 @@
+(** The [ccsched-rpc/1] wire protocol.
+
+    One request per line, one reply per line, both JSON objects —
+    newline-delimited JSON over a Unix-domain stream socket.  Every
+    request carries the protocol version in ["rpc"] and a client-chosen
+    non-negative integer ["id"] that the reply echoes, so clients may
+    pipeline requests and match replies by id (the server answers in
+    request order).  The full reference with examples lives in
+    [docs/service.md]; this module is the single
+    serialisation/deserialisation point shared by the server, the
+    client and the tests. *)
+
+val version : string
+(** ["ccsched-rpc/1"].  Requests carrying any other value are refused
+    with error code [version]: the suffix is a major version, bumped
+    only on incompatible changes; additive fields do not bump it. *)
+
+type graph_spec =
+  | Workload of string  (** a built-in workload name, e.g. ["fig7"] *)
+  | Inline of string  (** a full [.csdfg] text, newlines escaped in JSON *)
+
+type knobs = {
+  mode : Cyclo.Remap.mode;  (** default [With_relaxation] *)
+  passes : int option;  (** default: scales with the graph *)
+  speeds : int array option;  (** default: homogeneous *)
+  slowdown : int;  (** delay multiplier, default 1 *)
+  transport : Cyclo.Cachekey.transport;  (** default [Store_and_forward] *)
+}
+
+val default_knobs : knobs
+
+type request =
+  | Schedule of { graph : graph_spec; arch : string; knobs : knobs }
+  | Replan of {
+      session : string;
+      fail_pes : int list;  (** 1-based, as everywhere user-facing *)
+      fail_links : (int * int) list;  (** 1-based endpoint pairs *)
+    }
+  | Stats
+  | Shutdown
+
+type err = { code : string; message : string }
+(** [code] is one of the stable machine-readable identifiers documented
+    in [docs/service.md]: [parse], [version], [bad_request],
+    [bad_graph], [unknown_session], [replan_failed], [internal]. *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+  requests : int;
+}
+
+type reply =
+  | Scheduled of {
+      id : int;
+      session : string;  (** the content-addressed cache key *)
+      cached : bool;
+      length : int;
+      passes : int;
+      schedule_json : string;
+          (** the exact [ccsched export -f json] object, embedded raw *)
+    }
+  | Replanned of {
+      id : int;
+      session : string;  (** key of the replanned schedule *)
+      cached : bool;
+      strategy : string;  (** ["patched"] or ["rebuilt"] *)
+      migration_cost : int;
+      moved : int;
+      length : int;
+      surviving : int;  (** processors left in the degraded machine *)
+      schedule_json : string;  (** schedule over the degraded machine *)
+    }
+  | Stats_reply of { id : int; stats : stats }
+  | Shutdown_ack of { id : int }
+  | Error_reply of { id : int option; err : err }
+
+val parse_request : string -> (int * request, int option * err) result
+(** Parse one request line.  [Ok (id, request)] on success; [Error]
+    carries the echoable id (when one could be recovered) and the error
+    to reply with.  Never raises. *)
+
+val request_to_json : id:int -> request -> string
+(** One line, no trailing newline — what a client sends. *)
+
+val reply_to_json : reply -> string
+(** One line, no trailing newline — what the server sends. *)
+
+val parse_reply : string -> (reply, string) result
+(** Client-side reply decoding.  Never raises. *)
+
+val reply_id : reply -> int option
+(** The echoed request id, [None] for an error reply to an unparseable
+    request. *)
+
+val json_escape : string -> string
+(** Escape a string for embedding in a JSON string literal (quotes,
+    backslashes, control characters incl. newlines). *)

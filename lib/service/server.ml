@@ -1,0 +1,175 @@
+module P = Protocol
+
+let g_queue_depth = Obs.Counters.gauge "service.queue_depth"
+let h_latency = Obs.Histogram.histogram "service.request_latency"
+
+type config = {
+  socket_path : string;
+  capacity : int;
+  domains : int option;
+  max_clients : int;
+}
+
+let default_config ~socket_path =
+  { socket_path; capacity = 256; domains = None; max_clients = 64 }
+
+(* One connected client.  [inbuf] accumulates bytes until a newline
+   completes a request; [out] holds reply bytes not yet accepted by the
+   socket.  Requests must be newline-terminated: an unterminated tail at
+   EOF is discarded, not parsed. *)
+type client = {
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;
+  mutable out : string;
+  mutable eof : bool;
+}
+
+let chunk = Bytes.create 65536
+
+(* Pop every complete line out of [c.inbuf]. *)
+let take_lines c =
+  let s = Buffer.contents c.inbuf in
+  match String.rindex_opt s '\n' with
+  | None -> []
+  | Some last ->
+      Buffer.clear c.inbuf;
+      Buffer.add_substring c.inbuf s (last + 1) (String.length s - last - 1);
+      String.split_on_char '\n' (String.sub s 0 last)
+
+let read_into c =
+  match Unix.read c.fd chunk 0 (Bytes.length chunk) with
+  | 0 -> c.eof <- true
+  | n -> Buffer.add_subbytes c.inbuf chunk 0 n
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+      c.eof <- true
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+
+let flush_some c =
+  if c.out <> "" then
+    match Unix.write_substring c.fd c.out 0 (String.length c.out) with
+    | n -> c.out <- String.sub c.out n (String.length c.out - n)
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        c.out <- "";
+        c.eof <- true
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+
+let close_client c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+(* Best-effort blocking drain on shutdown so the shutdown ack (and any
+   replies queued behind it) reach their clients. *)
+let drain_and_close c =
+  (try
+     Unix.clear_nonblock c.fd;
+     while c.out <> "" do
+       flush_some c
+     done
+   with Unix.Unix_error _ -> ());
+  close_client c
+
+(* A socket file with nothing listening behind it (a previous daemon
+   died hard) is safe to replace; a live one is not. *)
+let claim_socket path =
+  if Sys.file_exists path then
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match Unix.connect probe (Unix.ADDR_UNIX path) with
+    | () ->
+        Unix.close probe;
+        Error (Printf.sprintf "%s: a server is already listening" path)
+    | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) ->
+        Unix.close probe;
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        Ok ()
+    | exception Unix.Unix_error (e, _, _) ->
+        Unix.close probe;
+        Error (Printf.sprintf "%s: %s" path (Unix.error_message e))
+  else Ok ()
+
+let run ?(on_ready = fun () -> ()) cfg =
+  match claim_socket cfg.socket_path with
+  | Error _ as e -> e
+  | Ok () -> (
+      let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      match
+        Unix.bind listen_fd (Unix.ADDR_UNIX cfg.socket_path);
+        Unix.listen listen_fd 16
+      with
+      | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+          Error
+            (Printf.sprintf "cannot bind %s: %s" cfg.socket_path
+               (Unix.error_message e))
+      | () ->
+          (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+           with Invalid_argument _ -> ());
+          Unix.set_nonblock listen_fd;
+          let engine = Engine.create ~capacity:cfg.capacity () in
+          let clients = ref [] in
+          let stopping = ref false in
+          on_ready ();
+          while not !stopping do
+            let rds =
+              listen_fd :: List.map (fun c -> c.fd) !clients
+            in
+            let wrs =
+              List.filter_map
+                (fun c -> if c.out <> "" then Some c.fd else None)
+                !clients
+            in
+            let readable, writable, _ =
+              try Unix.select rds wrs [] (-1.0)
+              with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+            in
+            (* New connections. *)
+            if List.mem listen_fd readable then begin
+              match Unix.accept listen_fd with
+              | fd, _ ->
+                  if List.length !clients >= cfg.max_clients then
+                    (try Unix.close fd with Unix.Unix_error _ -> ())
+                  else begin
+                    Unix.set_nonblock fd;
+                    clients :=
+                      !clients
+                      @ [ { fd; inbuf = Buffer.create 256; out = ""; eof = false } ]
+                  end
+              | exception Unix.Unix_error (_, _, _) -> ()
+            end;
+            (* Drain readable clients, then answer everything that
+               arrived as one batch. *)
+            List.iter
+              (fun c -> if List.mem c.fd readable then read_into c)
+              !clients;
+            let batch =
+              List.concat_map
+                (fun c -> List.map (fun l -> (c, l)) (take_lines c))
+                !clients
+            in
+            if batch <> [] then begin
+              Obs.Counters.set g_queue_depth (List.length batch);
+              let t0 = Obs.Trace.now_ns () in
+              let replies =
+                Engine.handle_batch ?domains:cfg.domains engine
+                  (List.map snd batch)
+              in
+              let dt = Obs.Trace.now_ns () - t0 in
+              List.iter2
+                (fun (c, _) (reply, continue) ->
+                  Obs.Histogram.observe h_latency dt;
+                  c.out <- c.out ^ reply ^ "\n";
+                  if continue = `Shutdown then stopping := true)
+                batch replies
+            end;
+            (* Push replies out; drop finished clients. *)
+            List.iter
+              (fun c ->
+                if List.mem c.fd writable || c.out <> "" then flush_some c)
+              !clients;
+            let gone, alive =
+              List.partition (fun c -> c.eof && c.out = "") !clients
+            in
+            List.iter close_client gone;
+            clients := alive
+          done;
+          List.iter drain_and_close !clients;
+          (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+          (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+          Ok ())

@@ -1,0 +1,32 @@
+(** The [ccsched serve] daemon: a Unix-domain-socket NDJSON server over
+    one {!Engine}.
+
+    Single event loop ([Unix.select]); each iteration drains the lines
+    that arrived since the last one across all connected clients and
+    answers them as one {!Engine.handle_batch} — so concurrent clients
+    share the cache and the cache-missing compactions of a busy moment
+    run in parallel, while replies to each client stay in its request
+    order.  A [shutdown] request is acknowledged, then the loop closes
+    every connection, unlinks the socket and returns.
+
+    Instrumented through the observability layer when enabled:
+    [service.queue_depth] (gauge: lines taken per loop iteration),
+    [service.request_latency] (histogram, nanoseconds per request from
+    batch receipt to reply write-out), plus the {!Engine} counters. *)
+
+type config = {
+  socket_path : string;
+  capacity : int;  (** schedule-cache bound, entries *)
+  domains : int option;  (** compaction parallelism; [None] = all cores *)
+  max_clients : int;  (** refuse accepts beyond this many connections *)
+}
+
+val default_config : socket_path:string -> config
+(** capacity 256, domains [None], max_clients 64. *)
+
+val run : ?on_ready:(unit -> unit) -> config -> (unit, string) result
+(** Bind, listen and serve until a [shutdown] request.  Replaces a
+    stale socket file only if nothing is listening on it; [Error]
+    when the path is live or cannot be bound.  [on_ready] fires once
+    the socket is accepting (used by tests and the CI smoke to avoid
+    sleeps). *)

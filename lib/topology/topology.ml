@@ -301,3 +301,50 @@ let pp_distance_matrix ppf t =
       Fmt.pf ppf "@,pe%-3d %s" (p + 1) cells)
     t.dist;
   Fmt.pf ppf "@]"
+
+(* The CLI / RPC architecture spelling ("mesh:2x4", "ring:8", ...).
+   Lives here rather than in the front end so the one-shot CLI and the
+   ccsched-rpc service parse requests with the same code path. *)
+let of_spec spec =
+  let fail () =
+    Error
+      (Printf.sprintf
+         "bad architecture %S; use linear:N ring:N complete:N mesh:RxC \
+          torus:RxC hypercube:D star:N tree:N"
+         spec)
+  in
+  match String.split_on_char ':' spec with
+  | [ kind; dims ] -> (
+      let dim2 () =
+        match String.split_on_char 'x' dims with
+        | [ r; c ] -> (
+            match (int_of_string_opt r, int_of_string_opt c) with
+            | Some r, Some c when r > 0 && c > 0 -> Some (r, c)
+            | _ -> None)
+        | _ -> None
+      in
+      match kind with
+      | "mesh" -> (
+          match dim2 () with
+          | Some (r, c) -> Ok (mesh ~rows:r ~cols:c)
+          | None -> fail ())
+      | "torus" -> (
+          match dim2 () with
+          | Some (r, c) -> Ok (torus ~rows:r ~cols:c)
+          | None -> fail ())
+      | _ -> (
+          match int_of_string_opt dims with
+          | None -> fail ()
+          | Some n -> (
+              if n < 1 then fail ()
+              else
+                match kind with
+                | "linear" -> Ok (linear_array n)
+                | "ring" -> Ok (ring n)
+                | "complete" -> Ok (complete n)
+                | "hypercube" | "cube" ->
+                    if n > 16 then fail () else Ok (hypercube n)
+                | "star" -> if n < 2 then fail () else Ok (star n)
+                | "tree" -> Ok (binary_tree n)
+                | _ -> fail ())))
+  | _ -> fail ()

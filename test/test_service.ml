@@ -1,0 +1,448 @@
+(* Tests for the scheduling service: cache hits byte-identical to cold
+   misses (and to the one-shot export), content-addressed key collision
+   resistance, replan parity with Cyclo.Degrade, LRU bounds, batch and
+   socket determinism, and total protocol parsing. *)
+
+module P = Service.Protocol
+module Engine = Service.Engine
+module Lru = Service.Lru
+module Cachekey = Cyclo.Cachekey
+
+let check = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let fig7 () = Option.get (Workloads.Suite.find "fig7")
+
+let sched_line ?(id = 1) ?(knobs = P.default_knobs) workload arch =
+  P.request_to_json ~id
+    (P.Schedule { graph = P.Workload workload; arch; knobs })
+
+let replace ~sub ~by s =
+  let ls = String.length sub and n = String.length s in
+  let buf = Buffer.create n in
+  let i = ref 0 in
+  while !i <= n - ls do
+    if String.sub s !i ls = sub then begin
+      Buffer.add_string buf by;
+      i := !i + ls
+    end
+    else begin
+      Buffer.add_char buf s.[!i];
+      incr i
+    end
+  done;
+  Buffer.add_substring buf s !i (n - !i);
+  Buffer.contents buf
+
+(* The raw bytes of the embedded schedule object: everything after
+   "schedule": up to the reply's closing brace. *)
+let schedule_field line =
+  let marker = "\"schedule\":" in
+  let lm = String.length marker in
+  let rec find i =
+    if i + lm > String.length line then
+      Alcotest.fail "reply has no schedule field"
+    else if String.sub line i lm = marker then i + lm
+    else find (i + 1)
+  in
+  let start = find 0 in
+  String.sub line start (String.length line - start - 1)
+
+(* {2 Golden byte-identity} *)
+
+let test_hit_byte_identical_to_cold_miss () =
+  let e = Engine.create () in
+  let line = sched_line "fig7" "mesh:2x4" in
+  let miss, _ = Engine.handle_line e line in
+  let hit, _ = Engine.handle_line e line in
+  check_bool "miss is uncached" true
+    (replace ~sub:"\"cached\":false" ~by:"" miss <> miss);
+  check_str "hit differs only in the cached flag"
+    (replace ~sub:"\"cached\":false" ~by:"\"cached\":true" miss)
+    hit;
+  check "one miss" 1 (Engine.stats e).P.misses;
+  check "one hit" 1 (Engine.stats e).P.hits
+
+let test_reply_matches_one_shot_export () =
+  let e = Engine.create () in
+  let reply, _ = Engine.handle_line e (sched_line "fig7" "mesh:2x4") in
+  let topo = Result.get_ok (Topology.of_spec "mesh:2x4") in
+  let direct =
+    Cyclo.Export.to_json
+      (Cyclo.Compaction.run_on ~mode:Cyclo.Remap.With_relaxation (fig7 ())
+         topo)
+        .Cyclo.Compaction.best
+  in
+  check_str "embedded schedule is the one-shot export" direct
+    (schedule_field reply)
+
+(* {2 Cache keys} *)
+
+type cfg = {
+  mode : Cyclo.Remap.mode;
+  passes : int option;
+  slowdown : int;
+  transport : Cachekey.transport;
+  arch : string;
+  speeds : [ `No | `Uniform2 | `Alternating ];
+}
+
+(* every arch here has 8 processors, so the speeds variants apply to all *)
+let cfg_gen =
+  QCheck.Gen.(
+    let* mode =
+      oneofl [ Cyclo.Remap.With_relaxation; Cyclo.Remap.Without_relaxation ]
+    in
+    let* passes = oneofl [ None; Some 8; Some 16 ] in
+    let* slowdown = oneofl [ 1; 2; 3 ] in
+    let* transport = oneofl [ Cachekey.Store_and_forward; Cachekey.Wormhole ] in
+    let* arch =
+      oneofl [ "mesh:2x4"; "ring:8"; "complete:8"; "hypercube:3"; "linear:8" ]
+    in
+    let* speeds = oneofl [ `No; `Uniform2; `Alternating ] in
+    return { mode; passes; slowdown; transport; arch; speeds })
+
+let digest_of_cfg c =
+  let topo = Result.get_ok (Topology.of_spec c.arch) in
+  let speeds =
+    match c.speeds with
+    | `No -> None
+    | `Uniform2 -> Some (Array.make (Topology.n_processors topo) 2)
+    | `Alternating ->
+        Some
+          (Array.init (Topology.n_processors topo) (fun i -> 1 + (i mod 2)))
+  in
+  Cachekey.digest ?speeds ?passes:c.passes ~slowdown:c.slowdown ~mode:c.mode
+    ~transport:c.transport (fig7 ()) topo
+
+let prop_digest_injective_across_knobs =
+  QCheck.Test.make ~count:300
+    ~name:"equal digests exactly for equal knob configurations"
+    (QCheck.make (QCheck.Gen.pair cfg_gen cfg_gen))
+    (fun (a, b) -> digest_of_cfg a = digest_of_cfg b = (a = b))
+
+let test_digest_covers_graph_identity () =
+  let topo = Result.get_ok (Topology.of_spec "complete:8") in
+  let digest g =
+    Cachekey.digest ~mode:Cyclo.Remap.With_relaxation
+      ~transport:Cachekey.Store_and_forward g topo
+  in
+  let elliptic = Option.get (Workloads.Suite.find "elliptic") in
+  check_bool "different graphs, different keys" true
+    (digest (fig7 ()) <> digest elliptic);
+  check_bool "slowed-down graph changes the key" true
+    (digest (fig7 ()) <> digest (Dataflow.Transform.slowdown (fig7 ()) 2))
+
+let test_replan_digest_chains () =
+  let d1 = Cachekey.replan_digest ~parent:"p" ~failed_pes:[ 3 ] ~failed_links:[] in
+  let d1' =
+    Cachekey.replan_digest ~parent:"p" ~failed_pes:[ 3; 3 ] ~failed_links:[]
+  in
+  check_str "duplicate faults collapse" d1 d1';
+  let d2 =
+    Cachekey.replan_digest ~parent:d1 ~failed_pes:[ 4 ] ~failed_links:[]
+  in
+  check_bool "chained replan has its own key" true (d1 <> d2);
+  check_str "link order is normalised"
+    (Cachekey.replan_digest ~parent:"p" ~failed_pes:[]
+       ~failed_links:[ (1, 2) ])
+    (Cachekey.replan_digest ~parent:"p" ~failed_pes:[]
+       ~failed_links:[ (2, 1) ])
+
+(* {2 Replan parity with Cyclo.Degrade} *)
+
+let test_replan_matches_degrade () =
+  let topo = Result.get_ok (Topology.of_spec "mesh:2x4") in
+  let best =
+    (Cyclo.Compaction.run_on (fig7 ()) topo).Cyclo.Compaction.best
+  in
+  let plan =
+    Result.get_ok
+      (Cyclo.Degrade.replan best topo ~failed_pes:[ 2 ] ~failed_links:[])
+  in
+  let e = Engine.create () in
+  let first, _ = Engine.handle_line e (sched_line "fig7" "mesh:2x4") in
+  let session =
+    match P.parse_reply first with
+    | Ok (P.Scheduled { session; _ }) -> session
+    | _ -> Alcotest.fail "expected a schedule reply"
+  in
+  (* wire ids are 1-based: pe 3 on the wire is pe 2 internally *)
+  let reply, _ =
+    Engine.handle_line e
+      (P.request_to_json ~id:2
+         (P.Replan { session; fail_pes = [ 3 ]; fail_links = [] }))
+  in
+  check_str "replan schedule equals Degrade.replan's"
+    (Cyclo.Export.to_json plan.Cyclo.Degrade.schedule)
+    (schedule_field reply);
+  match P.parse_reply reply with
+  | Ok (P.Replanned r) ->
+      check "migration cost" plan.Cyclo.Degrade.migration_cost
+        r.migration_cost;
+      check "moved" (List.length plan.Cyclo.Degrade.moved) r.moved;
+      check "surviving" (Array.length plan.Cyclo.Degrade.surviving)
+        r.surviving;
+      check_str "strategy"
+        (match plan.Cyclo.Degrade.strategy with
+        | Cyclo.Degrade.Patched -> "patched"
+        | Cyclo.Degrade.Rebuilt -> "rebuilt")
+        r.strategy;
+      check_bool "first replan is a miss" false r.cached;
+      let again, _ =
+        Engine.handle_line e
+          (P.request_to_json ~id:2
+             (P.Replan { session; fail_pes = [ 3 ]; fail_links = [] }))
+      in
+      check_str "repeat replan is a byte-identical hit"
+        (replace ~sub:"\"cached\":false" ~by:"\"cached\":true" reply)
+        again
+  | _ -> Alcotest.fail "expected a replan reply"
+
+let test_replan_unknown_session () =
+  let e = Engine.create () in
+  let reply, _ =
+    Engine.handle_line e
+      (P.request_to_json ~id:9
+         (P.Replan
+            { session = "feedfacefeedfacefeedfacefeedface"; fail_pes = [ 1 ];
+              fail_links = [] }))
+  in
+  match P.parse_reply reply with
+  | Ok (P.Error_reply { id; err }) ->
+      check "echoes id" 9 (Option.get id);
+      check_str "code" "unknown_session" err.P.code
+  | _ -> Alcotest.fail "expected an error reply"
+
+(* {2 LRU} *)
+
+let test_lru_eviction_order () =
+  let l = Lru.create ~capacity:2 in
+  Lru.add l "a" 1;
+  Lru.add l "b" 2;
+  ignore (Lru.find l "a");
+  (* refreshes a, so b is the victim *)
+  Lru.add l "c" 3;
+  check "bound respected" 2 (Lru.length l);
+  check "one eviction" 1 (Lru.evictions l);
+  check_bool "b evicted" true (Lru.find l "b" = None);
+  check_bool "a survived" true (Lru.find l "a" = Some 1);
+  Alcotest.(check (list string)) "mru order" [ "a"; "c" ] (Lru.keys l);
+  Lru.add l "a" 10;
+  check "replace does not evict" 2 (Lru.length l);
+  check_bool "replaced value" true (Lru.find l "a" = Some 10)
+
+let test_engine_respects_cache_bound () =
+  let e = Engine.create ~capacity:2 () in
+  List.iter
+    (fun arch -> ignore (Engine.handle_line e (sched_line "fig7" arch)))
+    [ "ring:4"; "linear:4"; "complete:4" ];
+  let s = Engine.stats e in
+  check "entries bounded" 2 s.P.entries;
+  check "eviction counted" 1 s.P.evictions;
+  check "capacity reported" 2 s.P.capacity;
+  (* the first arch was evicted: asking again is a miss, not a hit *)
+  ignore (Engine.handle_line e (sched_line "fig7" "ring:4"));
+  check "re-request misses" 4 (Engine.stats e).P.misses
+
+(* {2 Batch determinism} *)
+
+let batch_lines =
+  [
+    sched_line ~id:1 "fig7" "mesh:2x4";
+    sched_line ~id:2 "fig7" "ring:8";
+    sched_line ~id:3 "fig7" "mesh:2x4";
+    "not json at all";
+    sched_line ~id:4 "fig7" "mesh:2x4";
+    P.request_to_json ~id:5 P.Stats;
+  ]
+
+let test_batch_matches_sequential () =
+  let seq_engine = Engine.create () in
+  let sequential = List.map (Engine.handle_line seq_engine) batch_lines in
+  List.iter
+    (fun domains ->
+      let e = Engine.create () in
+      let batched = Engine.handle_batch ~domains e batch_lines in
+      List.iteri
+        (fun i ((b, _), (s, _)) ->
+          check_str (Printf.sprintf "reply %d (domains=%d)" i domains) s b)
+        (List.combine batched sequential);
+      check "same hits" (Engine.stats seq_engine).P.hits (Engine.stats e).P.hits;
+      check "same misses" (Engine.stats seq_engine).P.misses
+        (Engine.stats e).P.misses;
+      Alcotest.(check (list string))
+        "same cache keys"
+        (Engine.cache_keys seq_engine) (Engine.cache_keys e))
+    [ 1; 2; 4 ]
+
+(* {2 Protocol totality (socket-level fuzz lives in CI)} *)
+
+let test_malformed_lines_become_error_replies () =
+  let e = Engine.create () in
+  let expect code line =
+    let reply, continue = Engine.handle_line e line in
+    check_bool (Printf.sprintf "%S keeps serving" line) true
+      (continue = `Continue);
+    match P.parse_reply reply with
+    | Ok (P.Error_reply { err; _ }) ->
+        check_str (Printf.sprintf "code for %S" line) code err.P.code
+    | _ -> Alcotest.fail (Printf.sprintf "%S: expected an error reply" line)
+  in
+  expect "parse" "";
+  expect "parse" "garbage";
+  expect "parse" "{\"rpc\":\"ccsched-rpc/1\",\"id\":1,\"op\":";
+  expect "version" "{}";
+  expect "version" "{\"rpc\":\"ccsched-rpc/9\",\"id\":1,\"op\":\"stats\"}";
+  expect "bad_request" "{\"rpc\":\"ccsched-rpc/1\",\"op\":\"stats\"}";
+  expect "bad_request" "{\"rpc\":\"ccsched-rpc/1\",\"id\":-3,\"op\":\"stats\"}";
+  expect "bad_request" "{\"rpc\":\"ccsched-rpc/1\",\"id\":1,\"op\":\"frobnicate\"}";
+  expect "bad_request" "{\"rpc\":\"ccsched-rpc/1\",\"id\":1,\"op\":\"schedule\"}";
+  expect "bad_request"
+    "{\"rpc\":\"ccsched-rpc/1\",\"id\":1,\"op\":\"schedule\",\"workload\":\"fig7\",\"arch\":\"blob:9\"}";
+  expect "bad_request"
+    "{\"rpc\":\"ccsched-rpc/1\",\"id\":1,\"op\":\"schedule\",\"workload\":\"nope\",\"arch\":\"ring:4\"}";
+  expect "bad_graph"
+    "{\"rpc\":\"ccsched-rpc/1\",\"id\":1,\"op\":\"schedule\",\"graph\":\"not a csdfg\",\"arch\":\"ring:4\"}";
+  expect "bad_request"
+    "{\"rpc\":\"ccsched-rpc/1\",\"id\":1,\"op\":\"replan\",\"session\":\"x\"}";
+  expect "bad_request"
+    "{\"rpc\":\"ccsched-rpc/1\",\"id\":1,\"op\":\"schedule\",\"workload\":\"fig7\",\"arch\":\"ring:4\",\"speeds\":[1,2]}"
+
+let prop_parse_request_total =
+  QCheck.Test.make ~count:500 ~name:"parse_request never raises"
+    QCheck.(string_of_size (QCheck.Gen.int_range 0 80))
+    (fun s ->
+      match P.parse_request s with Ok _ | Error _ -> true)
+
+let test_inline_graph_round_trips () =
+  (* an inline graph goes through json_escape (newlines!) and back *)
+  let text = Dataflow.Io.to_string (fig7 ()) in
+  let line =
+    P.request_to_json ~id:7
+      (P.Schedule
+         { graph = P.Inline text; arch = "mesh:2x4"; knobs = P.default_knobs })
+  in
+  let e = Engine.create () in
+  let inline_reply, _ = Engine.handle_line e line in
+  let named_reply, _ = Engine.handle_line e (sched_line ~id:7 "fig7" "mesh:2x4") in
+  check_str "inline fig7 equals the named workload (a cache hit)"
+    (replace ~sub:"\"cached\":false" ~by:"\"cached\":true" inline_reply)
+    named_reply
+
+(* {2 The socket itself} *)
+
+let with_server f =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ccsched-test-%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let ready = Atomic.make false in
+  let srv =
+    Domain.spawn (fun () ->
+        Service.Server.run
+          ~on_ready:(fun () -> Atomic.set ready true)
+          {
+            Service.Server.socket_path = path;
+            capacity = 8;
+            domains = Some 1;
+            max_clients = 4;
+          })
+  in
+  let rec wait n =
+    if not (Atomic.get ready) then
+      if n = 0 then Alcotest.fail "server never became ready"
+      else begin
+        Unix.sleepf 0.01;
+        wait (n - 1)
+      end
+  in
+  wait 1000;
+  Fun.protect
+    ~finally:(fun () ->
+      match Domain.join srv with
+      | Ok () -> ()
+      | Error msg -> Alcotest.fail msg)
+    (fun () -> f path)
+
+let connect_exn path =
+  match Service.Client.connect path with
+  | Ok c -> c
+  | Error e -> Alcotest.fail (Service.Client.error_to_string e)
+
+let rpc_exn c line =
+  match Service.Client.rpc_line c line with
+  | Ok reply -> reply
+  | Error e -> Alcotest.fail (Service.Client.error_to_string e)
+
+let test_socket_round_trip () =
+  with_server @@ fun path ->
+  let c1 = connect_exn path in
+  let c2 = connect_exn path in
+  let line = sched_line "fig7" "ring:8" in
+  let r1 = rpc_exn c1 line in
+  let r2 = rpc_exn c2 line in
+  check_str "two clients, same bytes modulo the cached flag"
+    (replace ~sub:"\"cached\":false" ~by:"\"cached\":true" r1)
+    (replace ~sub:"\"cached\":false" ~by:"\"cached\":true" r2);
+  (match P.parse_reply (rpc_exn c2 (P.request_to_json ~id:2 P.Stats)) with
+  | Ok (P.Stats_reply { stats; _ }) ->
+      check "one schedule miss over the wire" 1 stats.P.misses;
+      check "requests counted" 3 stats.P.requests
+  | _ -> Alcotest.fail "expected stats");
+  Service.Client.close c1;
+  match P.parse_reply (rpc_exn c2 (P.request_to_json ~id:3 P.Shutdown)) with
+  | Ok (P.Shutdown_ack _) -> Service.Client.close c2
+  | _ -> Alcotest.fail "expected a shutdown ack"
+
+let () =
+  let q = QCheck_alcotest.to_alcotest in
+  Alcotest.run "service"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "hit equals cold miss" `Quick
+            test_hit_byte_identical_to_cold_miss;
+          Alcotest.test_case "reply equals one-shot export" `Quick
+            test_reply_matches_one_shot_export;
+        ] );
+      ( "cache-key",
+        [
+          q prop_digest_injective_across_knobs;
+          Alcotest.test_case "graph identity" `Quick
+            test_digest_covers_graph_identity;
+          Alcotest.test_case "replan digests chain" `Quick
+            test_replan_digest_chains;
+        ] );
+      ( "replan",
+        [
+          Alcotest.test_case "matches Degrade.replan" `Quick
+            test_replan_matches_degrade;
+          Alcotest.test_case "unknown session" `Quick
+            test_replan_unknown_session;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "engine bound" `Quick
+            test_engine_respects_cache_bound;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "parallel equals sequential" `Quick
+            test_batch_matches_sequential;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "malformed lines" `Quick
+            test_malformed_lines_become_error_replies;
+          q prop_parse_request_total;
+          Alcotest.test_case "inline graph" `Quick
+            test_inline_graph_round_trips;
+        ] );
+      ( "socket",
+        [ Alcotest.test_case "round trip" `Quick test_socket_round_trip ] );
+    ]
