@@ -52,6 +52,12 @@ type service = {
   cells_p50 : (string * float) list;  (* cell name -> p50 ns *)
 }
 
+type telemetry = {
+  log_off_ns : float;
+  log_on_ns : float;
+  overhead : float;  (* log_on / log_off on the engine hit path *)
+}
+
 type record = {
   line : int;
   host : string;
@@ -63,6 +69,8 @@ type record = {
       (* absent in records predating the portfolio pair *)
   service : service option;
       (* absent in records predating the scheduling service *)
+  telemetry : telemetry option;
+      (* absent in records predating the logging overhead cell *)
 }
 
 let malformed line what =
@@ -141,8 +149,19 @@ let validate line json =
                        field line item "p50_ns" Obs.Json.to_num ));
           }
   in
+  let telemetry =
+    match Obs.Json.member "telemetry" json with
+    | None -> None
+    | Some t ->
+        Some
+          {
+            log_off_ns = field line t "log_off_ns" Obs.Json.to_num;
+            log_on_ns = field line t "log_on_ns" Obs.Json.to_num;
+            overhead = field line t "overhead" Obs.Json.to_num;
+          }
+  in
   { line; host = field line json "host" Obs.Json.to_str; quick; benchmarks;
-    schedules; portfolio; service }
+    schedules; portfolio; service; telemetry }
 
 let load path =
   let ic =
@@ -256,6 +275,21 @@ let () =
               if not (List.mem_assoc name svc.cells_p50) then
                 fail "service: missing cell %S" name)
             [ "service_hit"; "service_miss"; "service_replan" ]);
+      (* telemetry: the logging-off discipline is one atomic load, so
+         the logging-on hit path must stay within 5% of logging-off —
+         an absolute bound, not a comparison against history, because
+         the overhead ratio cancels out the machine. *)
+      (match candidate.telemetry with
+      | None -> print_endline "no telemetry record; skipping telemetry gate"
+      | Some tel ->
+          Printf.printf
+            "telemetry hit path: log-off %.1f ns, log-on %.1f ns (%.3fx)\n"
+            tel.log_off_ns tel.log_on_ns tel.overhead;
+          if tel.log_off_ns <= 0. || tel.log_on_ns <= 0. then
+            fail "telemetry: non-positive timing (off %.1f ns, on %.1f ns)"
+              tel.log_off_ns tel.log_on_ns;
+          if tel.overhead > 1.05 then
+            fail "telemetry: logging overhead %.3fx > 1.05x" tel.overhead);
       (* ns/run: same host, same quota class only *)
       (match
          List.find_opt

@@ -449,11 +449,83 @@ let service_json svc =
   Buffer.add_string buf "]}";
   Buffer.contents buf
 
+(* Telemetry overhead cell: the engine hit path (parse, cache lookup,
+   reply serialisation) with structured logging off versus on, the sink
+   being an in-memory buffer so the cell measures render-plus-handoff
+   rather than disk.  Each figure is the minimum over several
+   repetitions of the mean over many iterations, which is stable enough
+   for the gate in check_regression.ml to hard-fail overhead above
+   1.05x — the logging-off discipline is one atomic load, and the
+   logging-on path must stay a small fraction of a cache hit. *)
+type telemetry = {
+  tel_log_off_ns : float;
+  tel_log_on_ns : float;
+  tel_overhead : float;  (* log_on / log_off *)
+}
+
+let telemetry_cell ~quick () =
+  let engine = Service.Engine.create ~capacity:64 () in
+  let line =
+    Service.Protocol.request_to_json ~id:1
+      (Service.Protocol.Schedule
+         {
+           graph = Service.Protocol.Workload "fig7";
+           arch = "mesh:2x4";
+           knobs = Service.Protocol.default_knobs;
+         })
+  in
+  ignore (Service.Engine.handle_line engine line);
+  (* warmed: every timed iteration below is a cache hit *)
+  let iters = if quick then 2_000 else 5_000 in
+  let reps = if quick then 6 else 12 in
+  let mean_ns () =
+    (* start every repetition at the same collector state: by this
+       point in the run the portfolio and service phases have grown the
+       major heap, and without this the log-on column's extra
+       allocation pays an amplified, heap-history-dependent GC bill
+       that swamps the ~1.5% signal the gate watches *)
+    Gc.full_major ();
+    let t0 = Obs.Trace.now_ns () in
+    for _ = 1 to iters do
+      ignore (Service.Engine.handle_line engine line)
+    done;
+    float_of_int (Obs.Trace.now_ns () - t0) /. float_of_int iters
+  in
+  let sink = Buffer.create 65536 in
+  let log_on () =
+    Obs.Log.enable (fun l ->
+        if Buffer.length sink > 1_000_000 then Buffer.clear sink;
+        Buffer.add_string sink l;
+        Buffer.add_char sink '\n')
+  in
+  (* off/on repetitions are interleaved so frequency drift and competing
+     load hit both columns equally instead of biasing whichever ran
+     second *)
+  let off = ref infinity and on = ref infinity in
+  for _ = 1 to reps do
+    Obs.Log.disable ();
+    off := Float.min !off (mean_ns ());
+    log_on ();
+    on := Float.min !on (mean_ns ())
+  done;
+  Obs.Log.disable ();
+  let off = !off and on = !on in
+  {
+    tel_log_off_ns = off;
+    tel_log_on_ns = on;
+    tel_overhead = (if off > 0. then on /. off else 1.);
+  }
+
+let telemetry_json tel =
+  Printf.sprintf
+    "{\"log_off_ns\":%.1f,\"log_on_ns\":%.1f,\"overhead\":%.4f}"
+    tel.tel_log_off_ns tel.tel_log_on_ns tel.tel_overhead
+
 (* One line per run appended to BENCH_history.jsonl; check_regression.ml
    reads it back (schema "ccsched-bench-history/1", see bench/README.md).
    ns/run figures are only comparable between records from the same host
    with the same --quick setting, so both are recorded. *)
-let append_history path ~quick rows sched_rows pf_cells svc =
+let append_history path ~quick rows sched_rows pf_cells svc tel =
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
@@ -504,6 +576,8 @@ let append_history path ~quick rows sched_rows pf_cells svc =
     pf_cells;
   Buffer.add_string buf "]},\"service\":";
   Buffer.add_string buf (service_json svc);
+  Buffer.add_string buf ",\"telemetry\":";
+  Buffer.add_string buf (telemetry_json tel);
   Buffer.add_string buf "}\n";
   output_string oc (Buffer.contents buf);
   close_out oc;
@@ -525,7 +599,7 @@ let phase_profile () =
   Obs.Counters.disable ();
   (Obs.Trace.aggregate (), Obs.Counters.dump ())
 
-let emit_json path rows pf_cells svc =
+let emit_json path rows pf_cells svc tel =
   let find name = List.assoc_opt name rows in
   let speedup =
     match
@@ -578,6 +652,7 @@ let emit_json path rows pf_cells svc =
     pf_cells;
   output_string oc "  ]";
   Printf.fprintf oc ",\n  \"service\": %s" (service_json svc);
+  Printf.fprintf oc ",\n  \"telemetry\": %s" (telemetry_json tel);
   let phases, counters = phase_profile () in
   output_string oc ",\n  \"phases_elliptic_mesh4x4\": [\n";
   List.iteri
@@ -651,5 +726,9 @@ let () =
   Fmt.pr
     "service hit rate %.2f over %d requests; hit p50 is %.1fx below miss p50@."
     svc.svc_hit_rate svc.svc_requests svc.svc_speedup_p50;
-  emit_json "BENCH_sched.json" rows pf_cells svc;
-  append_history "BENCH_history.jsonl" ~quick rows sched_rows pf_cells svc
+  let tel = telemetry_cell ~quick () in
+  Fmt.pr
+    "telemetry hit path log-off %.1f ns, log-on %.1f ns (overhead %.3fx)@."
+    tel.tel_log_off_ns tel.tel_log_on_ns tel.tel_overhead;
+  emit_json "BENCH_sched.json" rows pf_cells svc tel;
+  append_history "BENCH_history.jsonl" ~quick rows sched_rows pf_cells svc tel

@@ -1055,7 +1055,23 @@ let serve_cmd =
          & info [ "max-clients" ] ~docv:"N"
              ~doc:"Refuse connections beyond $(docv) concurrent clients.")
   in
-  let run socket cache max_clients domains profile metrics =
+  let log_arg =
+    Arg.(value & opt (some string) None
+         & info [ "log" ] ~docv:"FILE"
+             ~doc:"Append one structured NDJSON line (schema ccsched-log/1) \
+                   per request, reply, eviction, replan and client event to \
+                   $(docv); $(b,-) logs to stderr.")
+  in
+  let log_level_arg =
+    Arg.(value
+         & opt (enum [ ("debug", Obs.Log.Debug); ("info", Obs.Log.Info);
+                       ("warn", Obs.Log.Warn); ("error", Obs.Log.Error) ])
+             Obs.Log.Info
+         & info [ "log-level" ] ~docv:"LEVEL"
+             ~doc:"Minimum level written to --log: $(b,debug), $(b,info) \
+                   (default), $(b,warn) or $(b,error).")
+  in
+  let run socket cache max_clients domains log log_level profile metrics =
     if cache < 1 then die 2 "--cache needs N >= 1";
     if max_clients < 1 then die 2 "--max-clients needs N >= 1";
     let cfg =
@@ -1063,13 +1079,39 @@ let serve_cmd =
         max_clients }
     in
     with_observability ~profile ~metrics @@ fun () ->
+    (* The daemon always keeps the registries live: `metrics` scrapes
+       and `ccsched top` must see them without any flag, and the
+       counters never touch reply bytes (golden replies are pinned with
+       telemetry enabled). *)
+    Obs.Counters.enable ();
+    Obs.Histogram.enable ();
+    let log_sink =
+      Option.map
+        (fun path ->
+          if path = "-" then (stderr, false)
+          else (open_out_gen [ Open_append; Open_creat ] 0o644 path, true))
+        log
+    in
+    (match log_sink with
+    | Some (oc, _) ->
+        Obs.Log.enable ~level:log_level (fun line ->
+            output_string oc line;
+            output_char oc '\n';
+            flush oc)
+    | None -> ());
     let on_ready () =
       Fmt.pr "ccsched: listening on %s (rpc %s, cache %d)@." socket
         Service.Protocol.version cache;
       (* clients started right after us poll stdout for this line *)
       flush stdout
     in
-    match Service.Server.run ~on_ready cfg with
+    let result = Service.Server.run ~on_ready cfg in
+    (match log_sink with
+    | Some (oc, close) ->
+        Obs.Log.disable ();
+        if close then close_out oc
+    | None -> ());
+    match result with
     | Ok () -> Fmt.pr "ccsched: shut down cleanly@."
     | Error msg -> die 2 msg
   in
@@ -1077,15 +1119,17 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Run the scheduling daemon: a Unix-domain-socket NDJSON server \
              (protocol ccsched-rpc/1, see docs/service.md) with a \
-             content-addressed schedule cache and live replan.")
+             content-addressed schedule cache, live replan and always-on \
+             telemetry (metrics/health requests, optional --log).")
     Term.(const run $ socket_arg $ cache_arg $ max_clients_arg $ domains_arg
-          $ profile_arg $ metrics_flag)
+          $ log_arg $ log_level_arg $ profile_arg $ metrics_flag)
 
 let client_cmd =
   let graph_opt_arg =
     let doc =
       "Workload name or .csdfg file path to schedule (omit when using \
-       $(b,--replan), $(b,--stats), $(b,--shutdown) or $(b,--stdin))."
+       $(b,--replan), $(b,--stats), $(b,--metrics), $(b,--health), \
+       $(b,--shutdown) or $(b,--stdin))."
     in
     Arg.(value & pos 0 (some string) None & info [] ~docv:"GRAPH" ~doc)
   in
@@ -1109,6 +1153,26 @@ let client_cmd =
   let stats_flag =
     Arg.(value & flag
          & info [ "stats" ] ~doc:"Ask the daemon for its cache statistics.")
+  in
+  let metrics_req_flag =
+    Arg.(value & flag
+         & info [ "metrics" ]
+             ~doc:"Scrape the daemon's telemetry registries and print the \
+                   Prometheus text exposition payload (format v0.0.4).")
+  in
+  let health_flag =
+    Arg.(value & flag
+         & info [ "health" ]
+             ~doc:"Ask the daemon for its health summary: build, uptime, \
+                   cache hit-rate and occupancy, queue depth, active \
+                   clients, last replan verdict.")
+  in
+  let trace_rpc_flag =
+    Arg.(value & flag
+         & info [ "trace" ]
+             ~doc:"Send schedule/replan requests with $(b,\"trace\":true): \
+                   the reply carries a per-stage span breakdown \
+                   (nanoseconds), otherwise byte-identical.")
   in
   let shutdown_flag =
     Arg.(value & flag
@@ -1142,7 +1206,7 @@ let client_cmd =
     | Error msg -> die 3 ("malformed reply: " ^ msg)
   in
   let run socket graph arch mode passes slowdown speeds wormhole replan
-      fail_pes fail_links stats shutdown stdin_mode =
+      fail_pes fail_links stats metrics health trace shutdown stdin_mode =
     let conn =
       match Service.Client.connect socket with
       | Ok c -> c
@@ -1162,9 +1226,9 @@ let client_cmd =
       let n = ref 0 in
       fun () -> incr n; !n
     in
-    let send_request request =
+    let send_request ?trace request =
       send
-        (Service.Protocol.request_to_json ~id:(next_id ()) request)
+        (Service.Protocol.request_to_json ?trace ~id:(next_id ()) request)
     in
     if stdin_mode then begin
       (try
@@ -1178,10 +1242,14 @@ let client_cmd =
         (if graph <> None then 1 else 0)
         + (if replan <> None then 1 else 0)
         + (if stats then 1 else 0)
+        + (if metrics then 1 else 0)
+        + (if health then 1 else 0)
         + if shutdown then 1 else 0
       in
       if ops = 0 then
-        die 2 "nothing to send: give a GRAPH, --replan, --stats or --shutdown";
+        die 2
+          "nothing to send: give a GRAPH, --replan, --stats, --metrics, \
+           --health or --shutdown";
       (match graph with
       | Some spec ->
           let graph_spec =
@@ -1225,17 +1293,38 @@ let client_cmd =
                  else Cyclo.Cachekey.Store_and_forward);
             }
           in
-          send_request
+          send_request ~trace
             (Service.Protocol.Schedule { graph = graph_spec; arch; knobs })
       | None -> ());
       (match replan with
       | Some session ->
           if fail_pes = [] && fail_links = [] then
             die 2 "--replan needs at least one --fail-pe or --fail-link";
-          send_request
+          send_request ~trace
             (Service.Protocol.Replan { session; fail_pes; fail_links })
       | None -> ());
       if stats then send_request Service.Protocol.Stats;
+      if metrics then begin
+        (* decode the scrape and print the exposition text itself, not
+           the JSON envelope — pipeable straight into a Prometheus tool *)
+        let line =
+          Service.Protocol.request_to_json ~id:(next_id ())
+            Service.Protocol.Metrics
+        in
+        match Service.Client.rpc_line conn line with
+        | Ok reply -> (
+            match Service.Protocol.parse_reply reply with
+            | Ok (Service.Protocol.Metrics_reply { body; _ }) ->
+                print_string body
+            | Ok (Service.Protocol.Error_reply { err; _ }) ->
+                worst :=
+                  max !worst
+                    (exit_code_of_error_code err.Service.Protocol.code)
+            | Ok _ -> die 3 "malformed reply: expected a metrics reply"
+            | Error msg -> die 3 ("malformed reply: " ^ msg))
+        | Error e -> die 3 (Service.Client.error_to_string e)
+      end;
+      if health then send_request Service.Protocol.Health;
       if shutdown then send_request Service.Protocol.Shutdown
     end;
     Service.Client.close conn;
@@ -1249,7 +1338,152 @@ let client_cmd =
     Term.(const run $ socket_arg $ graph_opt_arg $ arch_arg $ mode_arg
           $ passes_arg $ slowdown_arg $ speeds_arg $ wormhole_flag
           $ replan_arg $ fail_pe_arg $ fail_link_arg $ stats_flag
+          $ metrics_req_flag $ health_flag $ trace_rpc_flag
           $ shutdown_flag $ stdin_flag)
+
+let top_cmd =
+  let interval_arg =
+    Arg.(value & opt float 2.0
+         & info [ "i"; "interval" ] ~docv:"SECONDS"
+             ~doc:"Seconds between scrapes (default 2).")
+  in
+  let once_flag =
+    Arg.(value & flag
+         & info [ "once" ]
+             ~doc:"Take two scrapes one interval apart, print one plain \
+                   dashboard (no screen clearing), exit.")
+  in
+  let count_arg =
+    Arg.(value & opt (some int) None
+         & info [ "count" ] ~docv:"N"
+             ~doc:"Stop after $(docv) dashboard refreshes (default: run \
+                   until interrupted).")
+  in
+  let run socket interval once count =
+    let module SP = Service.Protocol in
+    if interval <= 0. then die 2 "--interval needs a positive duration";
+    (match count with
+    | Some n when n < 1 -> die 2 "--count needs N >= 1"
+    | _ -> ());
+    let conn =
+      match Service.Client.connect socket with
+      | Ok c -> c
+      | Error e -> die 2 (Service.Client.error_to_string e)
+    in
+    let next_id =
+      let n = ref 0 in
+      fun () -> incr n; !n
+    in
+    let request req =
+      let line = SP.request_to_json ~id:(next_id ()) req in
+      match Service.Client.rpc_line conn line with
+      | Ok reply -> (
+          match SP.parse_reply reply with
+          | Ok (SP.Error_reply { err; _ }) ->
+              die 1 (err.SP.code ^ ": " ^ err.SP.message)
+          | Ok r -> r
+          | Error msg -> die 3 ("malformed reply: " ^ msg))
+      | Error e -> die 3 (Service.Client.error_to_string e)
+    in
+    (* One scrape = health + metrics, wall-clock stamped for rates. *)
+    let scrape () =
+      let health =
+        match request SP.Health with
+        | SP.Health_reply { health; _ } -> health
+        | _ -> die 3 "malformed reply: expected a health reply"
+      in
+      let families =
+        match request SP.Metrics with
+        | SP.Metrics_reply { body; _ } -> (
+            match Obs.Exposition.parse body with
+            | Ok fams -> fams
+            | Error msg -> die 3 ("invalid exposition payload: " ^ msg))
+        | _ -> die 3 "malformed reply: expected a metrics reply"
+      in
+      (Unix.gettimeofday (), health, families)
+    in
+    let pp_ns ns =
+      if ns >= 1e9 then Printf.sprintf "%.2fs" (ns /. 1e9)
+      else if ns >= 1e6 then Printf.sprintf "%.2fms" (ns /. 1e6)
+      else if ns >= 1e3 then Printf.sprintf "%.1fus" (ns /. 1e3)
+      else Printf.sprintf "%.0fns" ns
+    in
+    let render ~clear (t1, _, f1) (t2, h, f2) =
+      let dt = Float.max 1e-9 (t2 -. t1) in
+      let d = Obs.Exposition.delta ~prev:f1 f2 in
+      let value_of fams raw =
+        Option.value ~default:0.
+          (Obs.Exposition.value fams (Obs.Exposition.metric_name raw))
+      in
+      let req_rate = value_of d "service.requests" /. dt in
+      let dh = value_of d "service.cache_hits"
+      and dm = value_of d "service.cache_misses" in
+      let latency_name = Obs.Exposition.metric_name "service.request_latency" in
+      let quantile q =
+        (* prefer the between-scrapes window; before any window traffic,
+           fall back to the lifetime histogram *)
+        let pick fams =
+          match Obs.Exposition.find fams latency_name with
+          | Some fam -> Obs.Exposition.histogram_quantile fam q
+          | None -> None
+        in
+        match pick d with Some v -> Some v | None -> pick f2
+      in
+      let pp_quantile = function
+        | Some v when v = infinity -> ">2^63ns"
+        | Some v -> pp_ns v
+        | None -> "-"
+      in
+      if clear then print_string "\027[2J\027[H";
+      Fmt.pr "ccsched top — %s, up %s  (%.1fs window)@." h.SP.build
+        (pp_ns (float_of_int h.SP.uptime_ns))
+        dt;
+      Fmt.pr "requests      %d total, %.1f/s@." h.SP.rpc_requests req_rate;
+      if dh +. dm > 0. then
+        Fmt.pr "hit rate      %.1f%% window, %.1f%% lifetime@."
+          (100. *. dh /. (dh +. dm))
+          (100. *. h.SP.hit_rate)
+      else Fmt.pr "hit rate      - window, %.1f%% lifetime@." (100. *. h.SP.hit_rate);
+      Fmt.pr "latency       p50 %s, p99 %s@."
+        (pp_quantile (quantile 0.5))
+        (pp_quantile (quantile 0.99));
+      Fmt.pr "load          queue depth %d, active clients %d@."
+        h.SP.queue_depth h.SP.active_clients;
+      Fmt.pr "cache         %d/%d entries, %.0f evictions@." h.SP.cache_entries
+        h.SP.cache_capacity
+        (value_of f2 "service.cache_evictions");
+      Fmt.pr "last replan   %s@." h.SP.last_replan;
+      flush stdout
+    in
+    if once then begin
+      let s1 = scrape () in
+      Unix.sleepf interval;
+      render ~clear:false s1 (scrape ())
+    end
+    else begin
+      let prev = ref (scrape ()) in
+      let shown = ref 0 in
+      let continue () =
+        match count with None -> true | Some k -> !shown < k
+      in
+      while continue () do
+        Unix.sleepf interval;
+        let cur = scrape () in
+        render ~clear:true !prev cur;
+        prev := cur;
+        incr shown
+      done
+    end;
+    Service.Client.close conn
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live dashboard over a running daemon: poll health and metrics \
+             every interval and show request rate, cache hit rate, latency \
+             quantiles from histogram deltas, queue depth, cache occupancy \
+             and the last replan verdict.  $(b,--once) prints a single plain \
+             snapshot for scripts.")
+    Term.(const run $ socket_arg $ interval_arg $ once_flag $ count_arg)
 
 let () =
   let info =
@@ -1263,7 +1497,7 @@ let () =
       [ list_cmd; show_cmd; schedule_cmd; compare_cmd; export_cmd;
         simulate_cmd; faultsim_cmd; pipeline_cmd; autotune_cmd; partition_cmd;
         optimal_cmd; validate_cmd; explain_cmd; report_cmd; diff_cmd;
-        serve_cmd; client_cmd ]
+        serve_cmd; client_cmd; top_cmd ]
   in
   (* ~catch:false so unexpected exceptions reach us: report one line on
      stderr, no backtrace, exit 1.  Cmdliner's own CLI-parse failures

@@ -38,17 +38,15 @@ let enable () =
 
 let disable () = Atomic.set enabled_flag false
 
-let dump () =
-  Mutex.protect lock (fun () ->
-      Hashtbl.fold (fun name c acc -> (name, Atomic.get c.cell) :: acc) table [])
-  |> List.sort compare
-
-let dump_kinds () =
+let snapshot () =
   Mutex.protect lock (fun () ->
       Hashtbl.fold
         (fun name c acc -> (name, c.kind, Atomic.get c.cell) :: acc)
         table [])
   |> List.sort compare
+
+let dump () = List.map (fun (name, _, v) -> (name, v)) (snapshot ())
+let dump_kinds () = snapshot ()
 
 let pp_summary ppf () =
   let rows = dump_kinds () in

@@ -53,11 +53,18 @@ val disable : unit -> unit
 val reset : unit -> unit
 (** Zero every registered counter without changing the enabled flag. *)
 
+val snapshot : unit -> (string * kind * int) list
+(** One immutable, consistent view of the whole registry:
+    [(name, kind, value)] sorted by name, every cell read atomically
+    under the registration lock.  This is the read path shared by the
+    Prometheus exposition ({!Exposition}), [ccsched top] deltas and the
+    tests — none of them re-parse {!pp_summary} text. *)
+
 val dump : unit -> (string * int) list
-(** Snapshot of every registered counter, sorted by name. *)
+(** {!snapshot} without the kinds (kept for existing callers). *)
 
 val dump_kinds : unit -> (string * kind * int) list
-(** Like {!dump} but carrying each handle's declared {!kind}. *)
+(** Alias for {!snapshot}. *)
 
 val pp_summary : Format.formatter -> unit -> unit
 (** Human-readable registry listing, one [name value] line per counter

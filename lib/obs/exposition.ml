@@ -1,0 +1,365 @@
+(* Prometheus text exposition format v0.0.4 over the Counters and
+   Histogram registries.
+
+   Rendering reads one consistent snapshot of each registry
+   (Counters.snapshot / Histogram.snapshot), so a scrape never sees a
+   half-updated histogram: the +Inf bucket always equals _count by
+   construction.  The parser is deliberately strict — it is the same
+   code that validates scrapes in the CI smoke and feeds `ccsched top`,
+   so it enforces TYPE-before-samples, unique family names, sorted
+   cumulative le buckets and +Inf == _count rather than accepting
+   anything vaguely Prometheus-shaped. *)
+
+type kind = Counter | Gauge | Histogram
+
+type sample = {
+  sample_name : string;  (* full name incl. _bucket/_sum/_count suffix *)
+  labels : (string * string) list;
+  value : float;
+}
+
+type family = {
+  fam_name : string;
+  fam_kind : kind;
+  fam_help : string;
+  fam_samples : sample list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let metric_name raw =
+  let b = Buffer.create (String.length raw + 8) in
+  Buffer.add_string b "ccsched_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    raw;
+  Buffer.contents b
+
+(* HELP text escaping per the format: backslash and newline only. *)
+let help_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let render_of ~counters ~histograms () =
+  let b = Buffer.create 2048 in
+  List.iter
+    (fun (raw, kind, v) ->
+      let n = metric_name raw in
+      Printf.bprintf b "# HELP %s registry cell %s\n" n (help_escape raw);
+      Printf.bprintf b "# TYPE %s %s\n" n
+        (match kind with
+        | Counters.Counter -> "counter"
+        | Counters.Gauge -> "gauge");
+      Printf.bprintf b "%s %d\n" n v)
+    counters;
+  List.iter
+    (fun (raw, s) ->
+      let n = metric_name raw in
+      Printf.bprintf b "# HELP %s registry histogram %s (log2 buckets)\n" n
+        (help_escape raw);
+      Printf.bprintf b "# TYPE %s histogram\n" n;
+      let cum = ref 0 in
+      List.iter
+        (fun (ub, c) ->
+          cum := !cum + c;
+          Printf.bprintf b "%s_bucket{le=\"%d\"} %d\n" n ub !cum)
+        s.Histogram.s_buckets;
+      Printf.bprintf b "%s_bucket{le=\"+Inf\"} %d\n" n s.Histogram.s_count;
+      Printf.bprintf b "%s_sum %d\n" n s.Histogram.s_sum;
+      Printf.bprintf b "%s_count %d\n" n s.Histogram.s_count)
+    histograms;
+  Buffer.contents b
+
+let render () =
+  render_of ~counters:(Counters.snapshot ())
+    ~histograms:(Histogram.snapshot ()) ()
+
+(* ------------------------------------------------------------------ *)
+(* Strict parsing                                                       *)
+(* ------------------------------------------------------------------ *)
+
+exception Bad of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad m)) fmt
+
+let is_name_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+  | _ -> false
+
+let le_value = function
+  | "+Inf" -> infinity
+  | s -> (
+      match float_of_string_opt s with
+      | Some v -> v
+      | None -> bad "bad le bound %S" s)
+
+(* [name], [name{k="v",...}] — values are plain quoted strings, no
+   escape processing (our own renderer never needs any). *)
+let split_sample line =
+  let n = String.length line in
+  let i = ref 0 in
+  while !i < n && is_name_char line.[!i] do incr i done;
+  if !i = 0 then bad "sample line %S does not start with a metric name" line;
+  let name = String.sub line 0 !i in
+  let labels = ref [] in
+  if !i < n && line.[!i] = '{' then begin
+    match String.index_from_opt line !i '}' with
+    | None -> bad "unterminated label set in %S" line
+    | Some close ->
+        let body = String.sub line (!i + 1) (close - !i - 1) in
+        if body <> "" then
+          List.iter
+            (fun part ->
+              match String.index_opt part '=' with
+              | Some eq
+                when String.length part >= eq + 3
+                     && part.[eq + 1] = '"'
+                     && part.[String.length part - 1] = '"' ->
+                  labels :=
+                    ( String.sub part 0 eq,
+                      String.sub part (eq + 2) (String.length part - eq - 3) )
+                    :: !labels
+              | _ -> bad "bad label %S in %S" part line)
+            (String.split_on_char ',' body);
+        i := close + 1
+  end;
+  if !i >= n || line.[!i] <> ' ' then
+    bad "missing value separator in %S" line;
+  let rest = String.sub line (!i + 1) (n - !i - 1) in
+  let value =
+    match float_of_string_opt (String.trim rest) with
+    | Some v -> v
+    | None -> bad "bad sample value %S in %S" rest line
+  in
+  { sample_name = name; labels = List.rev !labels; value }
+
+let base_of fam sample_name =
+  (* which family does a sample name belong to? *)
+  let strip suffix =
+    let ls = String.length suffix and ln = String.length sample_name in
+    if ln > ls && String.sub sample_name (ln - ls) ls = suffix then
+      Some (String.sub sample_name 0 (ln - ls))
+    else None
+  in
+  match fam.fam_kind with
+  | Histogram -> (
+      match (strip "_bucket", strip "_sum", strip "_count") with
+      | Some b, _, _ -> b = fam.fam_name
+      | _, Some b, _ -> b = fam.fam_name
+      | _, _, Some b -> b = fam.fam_name
+      | None, None, None -> false)
+  | Counter | Gauge -> sample_name = fam.fam_name
+
+let check_family fam =
+  match fam.fam_kind with
+  | Counter | Gauge -> (
+      match fam.fam_samples with
+      | [ { labels = []; _ } ] -> ()
+      | [] -> bad "family %s has no sample" fam.fam_name
+      | _ -> bad "family %s must have exactly one label-free sample" fam.fam_name
+      )
+  | Histogram ->
+      let buckets =
+        List.filter
+          (fun s -> s.sample_name = fam.fam_name ^ "_bucket")
+          fam.fam_samples
+      in
+      let bounds =
+        List.map
+          (fun s ->
+            match s.labels with
+            | [ ("le", v) ] -> (le_value v, s.value)
+            | _ -> bad "%s_bucket needs exactly an le label" fam.fam_name)
+          buckets
+      in
+      if bounds = [] then bad "histogram %s has no buckets" fam.fam_name;
+      let rec monotone = function
+        | (le1, c1) :: ((le2, c2) :: _ as rest) ->
+            if not (le1 < le2) then
+              bad "histogram %s: le buckets not sorted ascending" fam.fam_name;
+            if c1 > c2 then
+              bad "histogram %s: bucket counts not cumulative" fam.fam_name;
+            monotone rest
+        | _ -> ()
+      in
+      monotone bounds;
+      let last_le, last_c = List.nth bounds (List.length bounds - 1) in
+      if last_le <> infinity then
+        bad "histogram %s: missing +Inf bucket" fam.fam_name;
+      let one suffix =
+        match
+          List.filter
+            (fun s -> s.sample_name = fam.fam_name ^ suffix)
+            fam.fam_samples
+        with
+        | [ { labels = []; value; _ } ] -> value
+        | _ ->
+            bad "histogram %s needs exactly one label-free %s%s" fam.fam_name
+              fam.fam_name suffix
+      in
+      let _sum = one "_sum" in
+      let count = one "_count" in
+      if count <> last_c then
+        bad "histogram %s: +Inf bucket %g <> _count %g" fam.fam_name last_c
+          count
+
+let parse text =
+  try
+    let families = ref [] and seen = Hashtbl.create 16 in
+    let cur = ref None in
+    let pending_help = ref None in
+    let finish () =
+      match !cur with
+      | None -> ()
+      | Some (name, kind, help, samples_rev) ->
+          let fam =
+            {
+              fam_name = name;
+              fam_kind = kind;
+              fam_help = help;
+              fam_samples = List.rev samples_rev;
+            }
+          in
+          check_family fam;
+          families := fam :: !families;
+          cur := None
+    in
+    let meta_line line =
+      (* "# HELP name text" / "# TYPE name kind" -> (keyword, name, rest) *)
+      match String.split_on_char ' ' line with
+      | "#" :: kw :: name :: rest -> (kw, name, String.concat " " rest)
+      | _ -> bad "malformed comment line %S" line
+    in
+    List.iter
+      (fun line ->
+        if line = "" then ()
+        else if String.length line >= 1 && line.[0] = '#' then begin
+          match meta_line line with
+          | "HELP", name, text ->
+              if !pending_help <> None then
+                bad "HELP for %s not followed by its TYPE" name;
+              pending_help := Some (name, text)
+          | "TYPE", name, kindname ->
+              finish ();
+              if Hashtbl.mem seen name then
+                bad "duplicate metric family %s" name;
+              Hashtbl.add seen name ();
+              let kind =
+                match kindname with
+                | "counter" -> Counter
+                | "gauge" -> Gauge
+                | "histogram" -> Histogram
+                | k -> bad "unknown TYPE %S for %s" k name
+              in
+              let help =
+                match !pending_help with
+                | Some (hn, text) when hn = name -> text
+                | Some (hn, _) -> bad "HELP %s does not match TYPE %s" hn name
+                | None -> ""
+              in
+              pending_help := None;
+              cur := Some (name, kind, help, [])
+          | kw, _, _ -> bad "unknown comment keyword %S" kw
+        end
+        else begin
+          if !pending_help <> None then
+            bad "sample after HELP but before TYPE: %S" line;
+          let s = split_sample line in
+          match !cur with
+          | Some (name, kind, help, samples)
+            when base_of
+                   {
+                     fam_name = name;
+                     fam_kind = kind;
+                     fam_help = help;
+                     fam_samples = [];
+                   }
+                   s.sample_name ->
+              cur := Some (name, kind, help, s :: samples)
+          | Some _ | None ->
+              bad "sample %s before (or outside) its TYPE declaration"
+                s.sample_name
+        end)
+      (String.split_on_char '\n' text);
+    if !pending_help <> None then bad "trailing HELP without TYPE";
+    finish ();
+    Ok (List.rev !families)
+  with Bad m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* Delta view and scrape helpers                                        *)
+(* ------------------------------------------------------------------ *)
+
+let find fams name = List.find_opt (fun f -> f.fam_name = name) fams
+
+let value fams name =
+  match find fams name with
+  | Some { fam_samples = { value; _ } :: _; _ } -> Some value
+  | _ -> None
+
+(* Monotone delta: counters and histogram series become
+   [max 0 (cur - prev)], gauges pass through unchanged.  A metric absent
+   from [prev] (new since the last scrape) counts from zero.  The
+   difference of two cumulative bucket vectors is itself cumulative, so
+   the result of [delta] parses and validates like a scrape. *)
+let delta ~prev cur =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      List.iter
+        (fun s -> Hashtbl.replace tbl (s.sample_name, s.labels) s.value)
+        f.fam_samples)
+    prev;
+  List.map
+    (fun f ->
+      match f.fam_kind with
+      | Gauge -> f
+      | Counter | Histogram ->
+          {
+            f with
+            fam_samples =
+              List.map
+                (fun s ->
+                  let before =
+                    Option.value ~default:0.
+                      (Hashtbl.find_opt tbl (s.sample_name, s.labels))
+                  in
+                  { s with value = Float.max 0. (s.value -. before) })
+                f.fam_samples;
+          })
+    cur
+
+let histogram_quantile fam q =
+  if not (q >= 0. && q <= 1.) then
+    invalid_arg "Exposition.histogram_quantile: q outside [0, 1]";
+  let buckets =
+    List.filter_map
+      (fun s ->
+        match s.labels with
+        | [ ("le", v) ] when s.sample_name = fam.fam_name ^ "_bucket" ->
+            Some (le_value v, s.value)
+        | _ -> None)
+      fam.fam_samples
+  in
+  match List.rev buckets with
+  | [] -> None
+  | (_, total) :: _ ->
+      if total <= 0. then None
+      else
+        let target = q *. total in
+        Some
+          (match List.find_opt (fun (_, cum) -> cum >= target) buckets with
+          | Some (le, _) -> le
+          | None -> infinity)

@@ -1,0 +1,82 @@
+(** Prometheus text exposition (format v0.0.4) for the live telemetry
+    surface of the scheduling service.
+
+    {!render} turns the {!Counters} and {!Histogram} registries into
+    the classic scrape payload: a [# HELP]/[# TYPE] header per metric
+    family followed by its samples, histograms as cumulative
+    [_bucket{le="..."}] series plus [_sum]/[_count].  Rendering reads
+    one {!Counters.snapshot}/{!Histogram.snapshot} per scrape, so the
+    payload is internally consistent under concurrent observation (the
+    [+Inf] bucket always equals [_count]).
+
+    The same module owns the {e strict} parser used by [ccsched top]
+    and the CI scrape smoke: {!parse} rejects samples outside a [TYPE]
+    declaration, duplicate family names, unsorted or non-cumulative
+    [le] buckets and [+Inf <> _count], rather than accepting anything
+    vaguely Prometheus-shaped.  {!delta} gives the monotone between-two-
+    scrapes view rates are computed from.  See
+    [docs/observability.md], "Live telemetry". *)
+
+type kind = Counter | Gauge | Histogram
+
+type sample = {
+  sample_name : string;
+      (** full sample name, including any [_bucket]/[_sum]/[_count]
+          suffix *)
+  labels : (string * string) list;
+  value : float;
+}
+
+type family = {
+  fam_name : string;  (** exposed metric name, e.g. [ccsched_service_requests] *)
+  fam_kind : kind;
+  fam_help : string;
+  fam_samples : sample list;
+}
+
+val metric_name : string -> string
+(** Registry name to exposed metric name: prefixed with [ccsched_],
+    every character outside [[a-zA-Z0-9_]] replaced by [_] — so
+    ["service.cache_hits"] becomes ["ccsched_service_cache_hits"]. *)
+
+val render : unit -> string
+(** Render one consistent snapshot of both registries.  Counters and
+    gauges first, then histograms, each group sorted by name; values
+    are the registry's integers verbatim. *)
+
+val render_of :
+  counters:(string * Counters.kind * int) list ->
+  histograms:(string * Histogram.snapshot) list ->
+  unit ->
+  string
+(** {!render} over explicit snapshots — deterministic input for the
+    golden test, and what {!render} itself calls. *)
+
+val parse : string -> (family list, string) result
+(** Strict parse of an exposition payload.  Enforces: [# TYPE] before
+    any of a family's samples, at most one optional [# HELP]
+    immediately preceding its [# TYPE], unique family names, samples
+    contiguous under their family, exactly one label-free sample for
+    counters/gauges, and for histograms sorted strictly-ascending [le]
+    buckets with cumulative counts ending in a [+Inf] bucket equal to
+    [_count].  Never raises. *)
+
+val find : family list -> string -> family option
+
+val value : family list -> string -> float option
+(** First sample value of the named family ([None] when absent) — the
+    counter/gauge accessor. *)
+
+val delta : prev:family list -> family list -> family list
+(** Monotone delta view between two scrapes: counter and histogram
+    sample values become [max 0 (cur - prev)] (a series absent from
+    [prev] counts from zero), gauges pass through unchanged.  Bucket
+    vectors stay cumulative, so the result validates like a scrape and
+    {!histogram_quantile} applies to it. *)
+
+val histogram_quantile : family -> float -> float option
+(** [histogram_quantile fam q] over a histogram family's cumulative
+    [_bucket] samples: the [le] bound of the first bucket whose
+    cumulative count reaches [q * count] — [infinity] when that bucket
+    is [+Inf], [None] on an empty histogram.
+    @raise Invalid_argument when [q] is outside [0..1]. *)

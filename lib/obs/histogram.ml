@@ -90,6 +90,33 @@ let buckets h =
   done;
   !rows
 
+type snapshot = {
+  s_count : int;
+  s_sum : int;
+  s_buckets : (int * int) list;
+}
+
+(* [s_count] is derived from the bucket reads, not [h.total], so a
+   snapshot is internally consistent even when another domain is
+   observing concurrently: the +Inf bucket of a Prometheus rendering
+   always equals _count. *)
+let snap h =
+  let rows = ref [] and total = ref 0 in
+  for i = n_buckets - 1 downto 0 do
+    let c = Atomic.get h.counts.(i) in
+    if c > 0 then begin
+      rows := (upper_bound i, c) :: !rows;
+      total := !total + c
+    end
+  done;
+  { s_count = !total; s_sum = Atomic.get h.sum; s_buckets = !rows }
+
+let snapshot () =
+  Mutex.protect lock (fun () ->
+      Hashtbl.fold (fun name h acc -> (name, h) :: acc) table [])
+  |> List.sort compare
+  |> List.map (fun (name, h) -> (name, snap h))
+
 let enabled () = Atomic.get enabled_flag
 
 let reset () =

@@ -49,6 +49,24 @@ val buckets : t -> (int * int) list
 (** Non-empty buckets as [(upper_bound, count)] pairs, ascending by
     bound.  Bucket 0's bound is 0. *)
 
+type snapshot = {
+  s_count : int;  (** total samples, derived from the bucket reads *)
+  s_sum : int;
+  s_buckets : (int * int) list;
+      (** non-empty [(upper_bound, count)] pairs, ascending *)
+}
+(** An immutable view of one histogram.  [s_count] is the sum of
+    [s_buckets] counts (not a separate read of the total cell), so the
+    view is internally consistent under concurrent observation — a
+    Prometheus rendering's +Inf bucket always equals its _count. *)
+
+val snap : t -> snapshot
+
+val snapshot : unit -> (string * snapshot) list
+(** {!snap} of every registered histogram, sorted by name.  Histograms
+    with no samples are included (all-zero snapshot), mirroring
+    {!Counters.snapshot}. *)
+
 val enabled : unit -> bool
 
 val enable : unit -> unit

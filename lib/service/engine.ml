@@ -43,10 +43,16 @@ type t = {
   suite : (string, Csdfg.t) Hashtbl.t;
       (* built-in workloads, constructed and validated once — Suite.find
          rebuilds every graph per call, far too slow for the hit path *)
+  created : float;  (* Unix.gettimeofday at create, for health uptime *)
   mutable requests : int;
   mutable hits : int;
   mutable misses : int;
+  mutable queue_depth : int;
+  mutable active_clients : int;
+  mutable last_replan : string;
 }
+
+let build_id = "ccsched/1.0.0"
 
 let create ?(capacity = 256) () =
   let suite = Hashtbl.create 32 in
@@ -54,7 +60,17 @@ let create ?(capacity = 256) () =
     (fun (name, g) ->
       if Result.is_ok (Csdfg.validate g) then Hashtbl.replace suite name g)
     (Workloads.Suite.all ());
-  { cache = Lru.create ~capacity; suite; requests = 0; hits = 0; misses = 0 }
+  {
+    cache = Lru.create ~capacity;
+    suite;
+    created = Unix.gettimeofday ();
+    requests = 0;
+    hits = 0;
+    misses = 0;
+    queue_depth = 0;
+    active_clients = 0;
+    last_replan = "none";
+  }
 
 let stats t =
   {
@@ -67,6 +83,26 @@ let stats t =
   }
 
 let cache_keys t = Lru.keys t.cache
+
+let set_load t ~queue_depth ~active_clients =
+  t.queue_depth <- queue_depth;
+  t.active_clients <- active_clients
+
+let health t =
+  let resolved = t.hits + t.misses in
+  {
+    P.build = build_id;
+    uptime_ns = int_of_float ((Unix.gettimeofday () -. t.created) *. 1e9);
+    rpc_requests = t.requests;
+    hit_rate =
+      (if resolved = 0 then 0.
+       else float_of_int t.hits /. float_of_int resolved);
+    cache_entries = Lru.length t.cache;
+    cache_capacity = Lru.capacity t.cache;
+    queue_depth = t.queue_depth;
+    active_clients = t.active_clients;
+    last_replan = t.last_replan;
+  }
 
 let record_hit t =
   t.hits <- t.hits + 1;
@@ -172,7 +208,13 @@ let commit t key entry =
   let before = Lru.evictions t.cache in
   Lru.add t.cache key entry;
   let evicted = Lru.evictions t.cache - before in
-  if evicted > 0 then Obs.Counters.incr ~by:evicted c_evictions
+  if evicted > 0 then begin
+    Obs.Counters.incr ~by:evicted c_evictions;
+    if Obs.Log.enabled () then
+      Obs.Log.emit ~session:key
+        ~kv:[ ("evicted", Obs.Log.I evicted) ]
+        Obs.Log.Info "eviction"
+  end
 
 let scheduled_reply ~id ~key ~cached entry =
   P.Scheduled
@@ -275,18 +317,38 @@ let replan_entry t ~session ~fail_pes ~fail_links =
 (* [precomputed] carries batch-parallel compute results keyed by cache
    key; each is consumed (committed + counted as the miss) by the first
    request that needs it, so later identical requests in the same batch
-   hit the cache exactly as they would sequentially. *)
-let handle_with ?precomputed t ~id request =
+   hit the cache exactly as they would sequentially.
+
+   [spans] opts into the "trace":true span breakdown: each major stage
+   is timed and pushed onto the ref (reverse order; handle_line_with
+   reverses and appends the export span).  With [spans = None] no clock
+   is read here, so untraced requests pay nothing. *)
+let handle_with ?precomputed ?spans t ~id request =
   t.requests <- t.requests + 1;
   Obs.Counters.incr c_requests;
+  let tick name f =
+    match spans with
+    | None -> f ()
+    | Some r ->
+        let t0 = Obs.Trace.now_ns () in
+        let x = f () in
+        r := (name, Obs.Trace.now_ns () - t0) :: !r;
+        x
+  in
   match request with
   | P.Stats -> P.Stats_reply { id; stats = stats t }
+  | P.Metrics ->
+      P.Metrics_reply
+        { id; body = tick "render" (fun () -> Obs.Exposition.render ()) }
+  | P.Health -> P.Health_reply { id; health = health t }
   | P.Shutdown -> P.Shutdown_ack { id }
   | P.Schedule { graph; arch; knobs } -> (
-      match resolve t ~graph ~arch knobs with
+      match tick "resolve" (fun () -> resolve t ~graph ~arch knobs) with
       | Error e -> P.Error_reply { id = Some id; err = e }
       | Ok prep -> (
-          match Lru.find t.cache prep.key with
+          match
+            tick "cache_lookup" (fun () -> Lru.find t.cache prep.key)
+          with
           | Some entry ->
               record_hit t;
               scheduled_reply ~id ~key:prep.key ~cached:true entry
@@ -299,7 +361,7 @@ let handle_with ?precomputed t ~id request =
                       r)
                 with
                 | Some r -> r
-                | None -> compute prep
+                | None -> tick "compaction" (fun () -> compute prep)
               in
               record_miss t;
               match computed with
@@ -311,34 +373,104 @@ let handle_with ?precomputed t ~id request =
       let key = Cachekey.replan_digest ~parent:session ~failed_pes:fail_pes
           ~failed_links:fail_links
       in
-      match Lru.find t.cache key with
+      match tick "cache_lookup" (fun () -> Lru.find t.cache key) with
       | Some ({ replan = Some info; _ } as entry) ->
           record_hit t;
+          t.last_replan <- info.strategy;
           replanned_reply ~id ~key ~cached:true entry info
       | Some { replan = None; _ } | None -> (
-          match replan_entry t ~session ~fail_pes ~fail_links with
+          match
+            tick "replan" (fun () ->
+                replan_entry t ~session ~fail_pes ~fail_links)
+          with
           | Ok ({ replan = Some info; _ } as entry) ->
               record_miss t;
               commit t key entry;
+              t.last_replan <- info.strategy;
               replanned_reply ~id ~key ~cached:false entry info
           | Ok { replan = None; _ } ->
               P.Error_reply
                 { id = Some id; err = err "internal" "replan lost its plan" }
-          | Error e -> P.Error_reply { id = Some id; err = e }))
+          | Error e ->
+              t.last_replan <- "failed";
+              P.Error_reply { id = Some id; err = e }))
 
 let handle t ~id request = handle_with t ~id request
 
 let continue_of_request = function P.Shutdown -> `Shutdown | _ -> `Continue
 
+(* One NDJSON log line per request/reply.  Guarded on [Log.enabled] so
+   the kv lists are never allocated while logging is off. *)
+let log_reply ~t0 ?request_id reply =
+  if Obs.Log.enabled () then begin
+    let module L = Obs.Log in
+    let duration_ns = Obs.Trace.now_ns () - t0 in
+    match reply with
+    | P.Scheduled { session; cached; length; _ } ->
+        L.emit ?request_id ~session ~duration_ns
+          ~kv:
+            [
+              ("op", L.S "schedule");
+              ("cached", L.B cached);
+              ("length", L.I length);
+            ]
+          L.Info "request"
+    | P.Replanned { session; cached; strategy; moved; length; _ } ->
+        L.emit ?request_id ~session ~duration_ns
+          ~kv:
+            [
+              ("op", L.S "replan");
+              ("strategy", L.S strategy);
+              ("cached", L.B cached);
+              ("moved", L.I moved);
+              ("length", L.I length);
+            ]
+          L.Info "replan"
+    | P.Stats_reply _ ->
+        L.emit ?request_id ~duration_ns ~kv:[ ("op", L.S "stats") ] L.Info
+          "request"
+    | P.Metrics_reply _ ->
+        L.emit ?request_id ~duration_ns ~kv:[ ("op", L.S "metrics") ] L.Info
+          "request"
+    | P.Health_reply _ ->
+        L.emit ?request_id ~duration_ns ~kv:[ ("op", L.S "health") ] L.Info
+          "request"
+    | P.Shutdown_ack _ ->
+        L.emit ?request_id ~duration_ns ~kv:[ ("op", L.S "shutdown") ] L.Info
+          "request"
+    | P.Error_reply { err = e; _ } ->
+        L.emit ?request_id ~duration_ns
+          ~kv:[ ("code", L.S e.P.code) ]
+          L.Warn "error"
+  end
+
 let handle_line_with ?precomputed t line =
+  let t0 = Obs.Trace.now_ns () in
   match P.parse_request line with
   | Error (id, e) ->
       t.requests <- t.requests + 1;
       Obs.Counters.incr c_requests;
-      (P.reply_to_json (P.Error_reply { id; err = e }), `Continue)
-  | Ok (id, request) ->
-      ( P.reply_to_json (handle_with ?precomputed t ~id request),
-        continue_of_request request )
+      let reply = P.Error_reply { id; err = e } in
+      let out = P.reply_to_json reply in
+      log_reply ~t0 ?request_id:id reply;
+      (out, `Continue)
+  | Ok (id, request, false) ->
+      let reply = handle_with ?precomputed t ~id request in
+      let out = P.reply_to_json reply in
+      log_reply ~t0 ~request_id:id reply;
+      (out, continue_of_request request)
+  | Ok (id, request, true) ->
+      (* Traced: the reply bytes are the untraced serialisation with the
+         span list spliced in front of the closing brace — byte-identical
+         modulo the trailing "trace" field (pinned in test_service.ml). *)
+      let spans = ref [ ("parse", Obs.Trace.now_ns () - t0) ] in
+      let reply = handle_with ?precomputed ~spans t ~id request in
+      let e0 = Obs.Trace.now_ns () in
+      let base = P.reply_to_json reply in
+      let export_ns = Obs.Trace.now_ns () - e0 in
+      let out = P.with_trace base (List.rev (("export", export_ns) :: !spans)) in
+      log_reply ~t0 ~request_id:id reply;
+      (out, continue_of_request request)
 
 let handle_line t line = handle_line_with t line
 
@@ -353,7 +485,9 @@ let handle_batch ?domains t lines =
   List.iter
     (fun line ->
       match P.parse_request line with
-      | Ok (_, P.Schedule { graph; arch; knobs }) -> (
+      (* traced lines are excluded so their compaction span is measured
+         for real in phase 2, not reduced to a table lookup *)
+      | Ok (_, P.Schedule { graph; arch; knobs }, false) -> (
           match resolve t ~graph ~arch knobs with
           | Ok prep
             when (not (Lru.mem t.cache prep.key))

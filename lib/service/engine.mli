@@ -14,7 +14,15 @@
     Statistics are kept unconditionally (the [stats] RPC must work
     without observability enabled) and mirrored into [Obs.Counters]
     ([service.cache_hits], [service.cache_misses], [service.requests],
-    [service.cache_evictions]) when that registry is on. *)
+    [service.cache_evictions]) when that registry is on.
+
+    Live telemetry rides the same paths: [metrics] requests render the
+    registries as Prometheus text exposition, [health] reports uptime
+    and load, a request carrying ["trace":true] gets a span breakdown
+    (parse/resolve/cache_lookup/compaction/replan/render → export)
+    spliced onto its otherwise byte-identical reply, and when
+    [Obs.Log] is enabled every request, reply, eviction and replan
+    emits one [ccsched-log/1] line. *)
 
 type t
 
@@ -41,5 +49,16 @@ val handle_batch :
     sequential ones. *)
 
 val stats : t -> Protocol.stats
+
+val health : t -> Protocol.health
+(** The [health] reply body: build id, uptime, request count, cache
+    hit-rate and occupancy, plus the load figures from {!set_load} and
+    the strategy of the most recent replan (["none"] before any,
+    ["failed"] after a failed one). *)
+
+val set_load : t -> queue_depth:int -> active_clients:int -> unit
+(** Record the server's current load for {!health}; the socket server
+    calls this before draining each batch. *)
+
 val cache_keys : t -> string list
 (** Cached session keys, most-recently-used first (tests, debugging). *)

@@ -36,6 +36,8 @@ type request =
       fail_links : (int * int) list;
     }
   | Stats
+  | Metrics
+  | Health
   | Shutdown
 
 type err = { code : string; message : string }
@@ -48,6 +50,20 @@ type stats = {
   capacity : int;
   requests : int;
 }
+
+type health = {
+  build : string;
+  uptime_ns : int;
+  rpc_requests : int;
+  hit_rate : float;
+  cache_entries : int;
+  cache_capacity : int;
+  queue_depth : int;
+  active_clients : int;
+  last_replan : string;
+}
+
+let exposition_content_type = "text/plain; version=0.0.4"
 
 type reply =
   | Scheduled of {
@@ -70,6 +86,8 @@ type reply =
       schedule_json : string;
     }
   | Stats_reply of { id : int; stats : stats }
+  | Metrics_reply of { id : int; body : string }
+  | Health_reply of { id : int; health : health }
   | Shutdown_ack of { id : int }
   | Error_reply of { id : int option; err : err }
 
@@ -206,6 +224,12 @@ let parse_request line =
     | Some op -> Ok op
     | None -> fail "bad_request" "missing \"op\" field"
   in
+  let* traced =
+    match Json.member "trace" json with
+    | None -> Ok false
+    | Some (Json.Bool b) -> Ok b
+    | Some _ -> fail "bad_request" "\"trace\" must be a boolean"
+  in
   let request =
     match op with
     | "schedule" ->
@@ -243,19 +267,23 @@ let parse_request line =
                 entry")
         else Ok (Replan { session; fail_pes; fail_links })
     | "stats" -> Ok Stats
+    | "metrics" -> Ok Metrics
+    | "health" -> Ok Health
     | "shutdown" -> Ok Shutdown
     | op ->
         with_id
           (fail "bad_request"
-             "unknown op %S (expected schedule, replan, stats or shutdown)" op)
+             "unknown op %S (expected schedule, replan, stats, metrics, \
+              health or shutdown)"
+             op)
   in
-  Result.map (fun request -> (id, request)) request
+  Result.map (fun request -> (id, request, traced)) request
 
 (* ------------------------------------------------------------------ *)
 (* Serialisation                                                        *)
 (* ------------------------------------------------------------------ *)
 
-let request_to_json ~id request =
+let request_to_json ?(trace = false) ~id request =
   let buf = Buffer.create 256 in
   Buffer.add_string buf
     (Printf.sprintf "{\"rpc\":\"%s\",\"id\":%d" version id);
@@ -304,7 +332,10 @@ let request_to_json ~id request =
                    (fun (a, b) -> Printf.sprintf "[%d,%d]" a b)
                    fail_links)))
   | Stats -> Buffer.add_string buf ",\"op\":\"stats\""
+  | Metrics -> Buffer.add_string buf ",\"op\":\"metrics\""
+  | Health -> Buffer.add_string buf ",\"op\":\"health\""
   | Shutdown -> Buffer.add_string buf ",\"op\":\"shutdown\"");
+  if trace then Buffer.add_string buf ",\"trace\":true";
   Buffer.add_char buf '}';
   Buffer.contents buf
 
@@ -341,6 +372,22 @@ let reply_to_json = function
          \"capacity\":%d,\"requests\":%d}}"
         version id stats.hits stats.misses stats.evictions stats.entries
         stats.capacity stats.requests
+  | Metrics_reply { id; body } ->
+      Printf.sprintf
+        "{\"rpc\":\"%s\",\"id\":%d,\"ok\":true,\"op\":\"metrics\",\
+         \"content_type\":\"%s\",\"body\":\"%s\"}"
+        version id
+        (json_escape exposition_content_type)
+        (json_escape body)
+  | Health_reply { id; health = h } ->
+      Printf.sprintf
+        "{\"rpc\":\"%s\",\"id\":%d,\"ok\":true,\"op\":\"health\",\"health\":\
+         {\"build\":\"%s\",\"uptime_ns\":%d,\"requests\":%d,\
+         \"hit_rate\":%.4f,\"cache_entries\":%d,\"cache_capacity\":%d,\
+         \"queue_depth\":%d,\"active_clients\":%d,\"last_replan\":\"%s\"}}"
+        version id (json_escape h.build) h.uptime_ns h.rpc_requests h.hit_rate
+        h.cache_entries h.cache_capacity h.queue_depth h.active_clients
+        (json_escape h.last_replan)
   | Shutdown_ack { id } ->
       Printf.sprintf
         "{\"rpc\":\"%s\",\"id\":%d,\"ok\":true,\"op\":\"shutdown\"}" version
@@ -352,6 +399,22 @@ let reply_to_json = function
         version
         (match id with Some id -> string_of_int id | None -> "null")
         (json_escape err.code) (json_escape err.message)
+
+(* The trace breakdown is additive: it is spliced onto the already
+   serialised reply, so a traced reply is byte-identical to the
+   untraced one modulo the trailing "trace" field (pinned by
+   test/test_service.ml). *)
+let with_trace line spans =
+  let buf = Buffer.create (String.length line + 64) in
+  Buffer.add_string buf (String.sub line 0 (String.length line - 1));
+  Buffer.add_string buf ",\"trace\":[";
+  List.iteri
+    (fun i (name, ns) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf "{\"span\":\"%s\",\"ns\":%d}" (json_escape name) ns)
+    spans;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
 (* Reply parsing (client side)                                          *)
@@ -455,6 +518,38 @@ let parse_reply line =
                      requests = sint "requests";
                    };
                })
+      | "metrics" ->
+          let* body = require "body" (str "body") in
+          Ok (Metrics_reply { id; body })
+      | "health" ->
+          let* h = require "health" (Json.member "health" json) in
+          let hint name =
+            Option.value ~default:0
+              (Option.bind (Json.member name h) Json.to_int)
+          in
+          let hstr name =
+            Option.value ~default:""
+              (Option.bind (Json.member name h) Json.to_str)
+          in
+          Ok
+            (Health_reply
+               {
+                 id;
+                 health =
+                   {
+                     build = hstr "build";
+                     uptime_ns = hint "uptime_ns";
+                     rpc_requests = hint "requests";
+                     hit_rate =
+                       Option.value ~default:0.
+                         (Option.bind (Json.member "hit_rate" h) Json.to_num);
+                     cache_entries = hint "cache_entries";
+                     cache_capacity = hint "cache_capacity";
+                     queue_depth = hint "queue_depth";
+                     active_clients = hint "active_clients";
+                     last_replan = hstr "last_replan";
+                   };
+               })
       | "shutdown" -> Ok (Shutdown_ack { id })
       | op -> Error (Printf.sprintf "unknown op %S in reply" op))
   | _ -> Error "reply is missing \"ok\""
@@ -463,6 +558,8 @@ let reply_id = function
   | Scheduled { id; _ }
   | Replanned { id; _ }
   | Stats_reply { id; _ }
+  | Metrics_reply { id; _ }
+  | Health_reply { id; _ }
   | Shutdown_ack { id } ->
       Some id
   | Error_reply { id; _ } -> id

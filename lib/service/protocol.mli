@@ -37,6 +37,10 @@ type request =
       fail_links : (int * int) list;  (** 1-based endpoint pairs *)
     }
   | Stats
+  | Metrics
+      (** scrape the live telemetry registries; the reply body is
+          Prometheus text exposition v0.0.4 (see {!Obs.Exposition}) *)
+  | Health
   | Shutdown
 
 type err = { code : string; message : string }
@@ -52,6 +56,22 @@ type stats = {
   capacity : int;
   requests : int;
 }
+
+type health = {
+  build : string;  (** server build identifier, e.g. ["ccsched/1.0.0"] *)
+  uptime_ns : int;
+  rpc_requests : int;  (** total requests handled since start *)
+  hit_rate : float;  (** cache hits / (hits + misses), [0.] before any *)
+  cache_entries : int;
+  cache_capacity : int;
+  queue_depth : int;  (** requests in the last drained batch *)
+  active_clients : int;
+  last_replan : string;
+      (** ["none"], ["patched"], ["rebuilt"] or ["failed"] *)
+}
+
+val exposition_content_type : string
+(** ["text/plain; version=0.0.4"] — echoed in every metrics reply. *)
 
 type reply =
   | Scheduled of {
@@ -75,19 +95,32 @@ type reply =
       schedule_json : string;  (** schedule over the degraded machine *)
     }
   | Stats_reply of { id : int; stats : stats }
+  | Metrics_reply of { id : int; body : string }
+      (** [body] is the exposition payload; on the wire it is a JSON
+          string next to a ["content_type"] field *)
+  | Health_reply of { id : int; health : health }
   | Shutdown_ack of { id : int }
   | Error_reply of { id : int option; err : err }
 
-val parse_request : string -> (int * request, int option * err) result
-(** Parse one request line.  [Ok (id, request)] on success; [Error]
-    carries the echoable id (when one could be recovered) and the error
-    to reply with.  Never raises. *)
+val parse_request : string -> (int * request * bool, int option * err) result
+(** Parse one request line.  [Ok (id, request, traced)] on success,
+    where [traced] reflects the optional boolean ["trace"] field
+    (default [false]) asking the server to append a span breakdown to
+    the reply; [Error] carries the echoable id (when one could be
+    recovered) and the error to reply with.  Never raises. *)
 
-val request_to_json : id:int -> request -> string
-(** One line, no trailing newline — what a client sends. *)
+val request_to_json : ?trace:bool -> id:int -> request -> string
+(** One line, no trailing newline — what a client sends.
+    [~trace:true] adds the ["trace":true] field. *)
 
 val reply_to_json : reply -> string
 (** One line, no trailing newline — what the server sends. *)
+
+val with_trace : string -> (string * int) list -> string
+(** [with_trace line spans] splices [,"trace":[{"span":...,"ns":...}...]]
+    into a serialised reply, just before the closing brace.  A traced
+    reply is byte-identical to its untraced form up to that suffix —
+    the contract the two-client trace test pins. *)
 
 val parse_reply : string -> (reply, string) result
 (** Client-side reply decoding.  Never raises. *)

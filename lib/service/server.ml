@@ -2,6 +2,8 @@ module P = Protocol
 
 let g_queue_depth = Obs.Counters.gauge "service.queue_depth"
 let h_latency = Obs.Histogram.histogram "service.request_latency"
+let c_rejected = Obs.Counters.counter "service.rejected_clients"
+let c_discarded = Obs.Counters.counter "service.discarded_partial"
 
 type config = {
   socket_path : string;
@@ -106,6 +108,14 @@ let run ?(on_ready = fun () -> ()) cfg =
           let clients = ref [] in
           let stopping = ref false in
           on_ready ();
+          Obs.Log.emit
+            ~kv:
+              [
+                ("socket", Obs.Log.S cfg.socket_path);
+                ("capacity", Obs.Log.I cfg.capacity);
+                ("max_clients", Obs.Log.I cfg.max_clients);
+              ]
+            Obs.Log.Info "serve.start";
           while not !stopping do
             let rds =
               listen_fd :: List.map (fun c -> c.fd) !clients
@@ -123,10 +133,16 @@ let run ?(on_ready = fun () -> ()) cfg =
             if List.mem listen_fd readable then begin
               match Unix.accept listen_fd with
               | fd, _ ->
-                  if List.length !clients >= cfg.max_clients then
-                    (try Unix.close fd with Unix.Unix_error _ -> ())
+                  if List.length !clients >= cfg.max_clients then begin
+                    Obs.Counters.incr c_rejected;
+                    Obs.Log.emit
+                      ~kv:[ ("max_clients", Obs.Log.I cfg.max_clients) ]
+                      Obs.Log.Warn "client.rejected";
+                    try Unix.close fd with Unix.Unix_error _ -> ()
+                  end
                   else begin
                     Unix.set_nonblock fd;
+                    Obs.Log.emit Obs.Log.Info "client.connect";
                     clients :=
                       !clients
                       @ [ { fd; inbuf = Buffer.create 256; out = ""; eof = false } ]
@@ -145,6 +161,8 @@ let run ?(on_ready = fun () -> ()) cfg =
             in
             if batch <> [] then begin
               Obs.Counters.set g_queue_depth (List.length batch);
+              Engine.set_load engine ~queue_depth:(List.length batch)
+                ~active_clients:(List.length !clients);
               let t0 = Obs.Trace.now_ns () in
               let replies =
                 Engine.handle_batch ?domains:cfg.domains engine
@@ -166,10 +184,22 @@ let run ?(on_ready = fun () -> ()) cfg =
             let gone, alive =
               List.partition (fun c -> c.eof && c.out = "") !clients
             in
-            List.iter close_client gone;
+            List.iter
+              (fun c ->
+                let pending = Buffer.length c.inbuf in
+                if pending > 0 then begin
+                  Obs.Counters.incr c_discarded;
+                  Obs.Log.emit
+                    ~kv:[ ("bytes", Obs.Log.I pending) ]
+                    Obs.Log.Warn "client.discarded_partial"
+                end
+                else Obs.Log.emit Obs.Log.Info "client.disconnect";
+                close_client c)
+              gone;
             clients := alive
           done;
           List.iter drain_and_close !clients;
           (try Unix.close listen_fd with Unix.Unix_error _ -> ());
           (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+          Obs.Log.emit Obs.Log.Info "serve.stop";
           Ok ())

@@ -12,7 +12,12 @@
     Instrumented through the observability layer when enabled:
     [service.queue_depth] (gauge: lines taken per loop iteration),
     [service.request_latency] (histogram, nanoseconds per request from
-    batch receipt to reply write-out), plus the {!Engine} counters. *)
+    batch receipt to reply write-out), [service.rejected_clients]
+    (accepts refused at [max_clients]) and [service.discarded_partial]
+    (clients that hung up leaving an unterminated request tail), plus
+    the {!Engine} counters.  With [Obs.Log] enabled the lifecycle is
+    logged too: [serve.start]/[serve.stop], [client.connect]/
+    [client.disconnect], [client.rejected], [client.discarded_partial]. *)
 
 type config = {
   socket_path : string;

@@ -308,7 +308,9 @@ let test_malformed_lines_become_error_replies () =
   expect "bad_request"
     "{\"rpc\":\"ccsched-rpc/1\",\"id\":1,\"op\":\"replan\",\"session\":\"x\"}";
   expect "bad_request"
-    "{\"rpc\":\"ccsched-rpc/1\",\"id\":1,\"op\":\"schedule\",\"workload\":\"fig7\",\"arch\":\"ring:4\",\"speeds\":[1,2]}"
+    "{\"rpc\":\"ccsched-rpc/1\",\"id\":1,\"op\":\"schedule\",\"workload\":\"fig7\",\"arch\":\"ring:4\",\"speeds\":[1,2]}";
+  expect "bad_request"
+    "{\"rpc\":\"ccsched-rpc/1\",\"id\":1,\"op\":\"stats\",\"trace\":1}"
 
 let prop_parse_request_total =
   QCheck.Test.make ~count:500 ~name:"parse_request never raises"
@@ -330,6 +332,105 @@ let test_inline_graph_round_trips () =
   check_str "inline fig7 equals the named workload (a cache hit)"
     (replace ~sub:"\"cached\":false" ~by:"\"cached\":true" inline_reply)
     named_reply
+
+(* {2 Telemetry: metrics, health, trace} *)
+
+let test_engine_metrics_and_health () =
+  Obs.Counters.enable ();
+  Obs.Histogram.enable ();
+  let e = Engine.create () in
+  ignore (Engine.handle_line e (sched_line "fig7" "ring:8"));
+  ignore (Engine.handle_line e (sched_line "fig7" "ring:8"));
+  let reply, _ = Engine.handle_line e (P.request_to_json ~id:3 P.Metrics) in
+  (match P.parse_reply reply with
+  | Ok (P.Metrics_reply { id; body }) -> (
+      check "echoes id" 3 id;
+      match Obs.Exposition.parse body with
+      | Error m -> Alcotest.fail ("scrape rejected by strict parser: " ^ m)
+      | Ok fams ->
+          List.iter
+            (fun raw ->
+              let n = Obs.Exposition.metric_name raw in
+              check_bool (n ^ " present") true
+                (Obs.Exposition.find fams n <> None))
+            [
+              "service.requests"; "service.cache_hits"; "service.cache_misses";
+              "service.cache_evictions";
+            ];
+          Alcotest.(check (option (float 0.)))
+            "hit counter visible" (Some 1.)
+            (Obs.Exposition.value fams
+               (Obs.Exposition.metric_name "service.cache_hits")))
+  | _ -> Alcotest.fail "expected a metrics reply");
+  let hreply, _ = Engine.handle_line e (P.request_to_json ~id:4 P.Health) in
+  (match P.parse_reply hreply with
+  | Ok (P.Health_reply { id; health }) ->
+      check "echoes id" 4 id;
+      check_str "build" "ccsched/1.0.0" health.P.build;
+      check "requests counted" 4 health.P.rpc_requests;
+      Alcotest.(check (float 1e-9)) "hit rate" 0.5 health.P.hit_rate;
+      check "one cached entry" 1 health.P.cache_entries;
+      check "capacity" 256 health.P.cache_capacity;
+      check_str "no replan yet" "none" health.P.last_replan
+  | _ -> Alcotest.fail "expected a health reply");
+  Obs.Counters.disable ();
+  Obs.Histogram.disable ()
+
+let contains line sub =
+  let ls = String.length sub and n = String.length line in
+  let rec go i = i <= n - ls && (String.sub line i ls = sub || go (i + 1)) in
+  go 0
+
+let strip_trace line =
+  let marker = ",\"trace\":[" in
+  let lm = String.length marker in
+  let rec find i =
+    if i + lm > String.length line then
+      Alcotest.fail "reply has no trace field"
+    else if String.sub line i lm = marker then i
+    else find (i + 1)
+  in
+  String.sub line 0 (find 0) ^ "}"
+
+let traced_sched_line ~id workload arch =
+  P.request_to_json ~trace:true ~id
+    (P.Schedule
+       { graph = P.Workload workload; arch; knobs = P.default_knobs })
+
+let test_traced_reply_byte_identity () =
+  let e = Engine.create () in
+  ignore (Engine.handle_line e (sched_line ~id:5 "fig7" "mesh:2x4"));
+  let untraced, _ = Engine.handle_line e (sched_line ~id:5 "fig7" "mesh:2x4") in
+  let traced, _ =
+    Engine.handle_line e (traced_sched_line ~id:5 "fig7" "mesh:2x4")
+  in
+  check_str "traced hit strips back to the untraced bytes" untraced
+    (strip_trace traced);
+  List.iter
+    (fun span ->
+      check_bool (span ^ " span present") true
+        (contains traced (Printf.sprintf "{\"span\":\"%s\",\"ns\":" span)))
+    [ "parse"; "resolve"; "cache_lookup"; "export" ];
+  (* a traced miss carries the compaction span *)
+  let traced_miss, _ =
+    Engine.handle_line e (traced_sched_line ~id:6 "fig7" "ring:8")
+  in
+  check_bool "compaction span on a miss" true
+    (contains traced_miss "{\"span\":\"compaction\",\"ns\":");
+  (* stats requests trace too, and the batch path matches sequential *)
+  let batch =
+    Engine.handle_batch ~domains:2 (Engine.create ())
+      [
+        sched_line ~id:5 "fig7" "mesh:2x4";
+        sched_line ~id:5 "fig7" "mesh:2x4";
+        traced_sched_line ~id:5 "fig7" "mesh:2x4";
+      ]
+  in
+  (match batch with
+  | [ (_, _); (hit, _); (traced_hit, _) ] ->
+      check_str "batch traced hit strips to the batch untraced hit" hit
+        (strip_trace traced_hit)
+  | _ -> Alcotest.fail "expected three batch replies")
 
 (* {2 The socket itself} *)
 
@@ -398,6 +499,38 @@ let test_socket_round_trip () =
   | Ok (P.Shutdown_ack _) -> Service.Client.close c2
   | _ -> Alcotest.fail "expected a shutdown ack"
 
+(* Two clients against one daemon, one of them tracing: the traced
+   reply must be byte-identical to the untraced one up to the trailing
+   trace field, and health/metrics answer over the wire. *)
+let test_socket_trace_identity () =
+  with_server @@ fun path ->
+  let c1 = connect_exn path in
+  let c2 = connect_exn path in
+  let line = sched_line ~id:4 "fig7" "mesh:2x4" in
+  ignore (rpc_exn c1 line);
+  (* cold miss *)
+  let untraced = rpc_exn c1 line in
+  let traced = rpc_exn c2 (traced_sched_line ~id:4 "fig7" "mesh:2x4") in
+  check_str "other client's traced hit strips to the untraced bytes"
+    untraced (strip_trace traced);
+  check_bool "span breakdown present" true
+    (contains traced "{\"span\":\"parse\",\"ns\":");
+  (match P.parse_reply (rpc_exn c2 (P.request_to_json ~id:5 P.Health)) with
+  | Ok (P.Health_reply { health; _ }) ->
+      check "requests so far" 4 health.P.rpc_requests
+  | _ -> Alcotest.fail "expected a health reply");
+  (match P.parse_reply (rpc_exn c1 (P.request_to_json ~id:6 P.Metrics)) with
+  | Ok (P.Metrics_reply { body; _ }) ->
+      (* registries may be disabled in the test binary: the scrape must
+         still be well-formed, just possibly empty *)
+      check_bool "scrape is valid exposition" true
+        (Result.is_ok (Obs.Exposition.parse body))
+  | _ -> Alcotest.fail "expected a metrics reply");
+  Service.Client.close c1;
+  match P.parse_reply (rpc_exn c2 (P.request_to_json ~id:7 P.Shutdown)) with
+  | Ok (P.Shutdown_ack _) -> Service.Client.close c2
+  | _ -> Alcotest.fail "expected a shutdown ack"
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "service"
@@ -443,6 +576,17 @@ let () =
           Alcotest.test_case "inline graph" `Quick
             test_inline_graph_round_trips;
         ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "metrics and health" `Quick
+            test_engine_metrics_and_health;
+          Alcotest.test_case "traced reply byte-identity" `Quick
+            test_traced_reply_byte_identity;
+        ] );
       ( "socket",
-        [ Alcotest.test_case "round trip" `Quick test_socket_round_trip ] );
+        [
+          Alcotest.test_case "round trip" `Quick test_socket_round_trip;
+          Alcotest.test_case "two-client trace identity" `Quick
+            test_socket_trace_identity;
+        ] );
     ]
