@@ -13,7 +13,15 @@
    - ns/run figures are only meaningful on one machine at one quota, so
      they are compared against the most recent earlier record with the
      same host and the same --quick flag (if any), failing beyond the
-     tolerance (default 15%).
+     tolerance (default 15%).  Because a shared hostname does not pin
+     the hardware (containerised runners all report one name over
+     varying VMs), the comparison is normalised by the records' frozen
+     calibration loops when both carry one, and skipped when only one
+     side does;
+   - scale cells (layered DAGs at 10^4/10^5 nodes): startup length is
+     deterministic and must not grow, peak RSS must stay under an
+     absolute per-cell ceiling, and ns/node is held to the same-host
+     tolerance like ns/run.
 
    Exit codes: 0 ok / nothing to compare, 1 regression, 2 bad history. *)
 
@@ -58,10 +66,30 @@ type telemetry = {
   overhead : float;  (* log_on / log_off on the engine hit path *)
 }
 
+type scale_cell = {
+  sc_nodes : int;
+  sc_ns_per_node : float;
+  sc_startup_len : int;
+  sc_startup_peak_rss : float;  (* bytes; covers generation too (monotone) *)
+}
+
+(* Absolute peak-RSS ceiling per scale cell, in bytes.  Unlike the
+   relative ns/run comparisons this is a hard budget: the scale tier
+   exists to catch the occupancy index or the sweep going superlinear,
+   and a quadratic structure shows up in memory long before any same-
+   host timing baseline exists.  Roughly 4x the measured footprint. *)
+let rss_ceiling_bytes nodes =
+  if nodes <= 10_000 then 256. *. 1024. *. 1024. else 1024. *. 1024. *. 1024.
+
 type record = {
   line : int;
   host : string;
   quick : bool;
+  calibration : float option;
+      (* frozen-loop machine-speed figure; absent in older records.
+         ns comparisons are scaled by candidate/baseline calibration —
+         the hostname alone does not pin the hardware (containerised
+         runners all report the same name over varying VMs). *)
   benchmarks : (string * float) list;
   schedules : ((string * string) * (int * int * int)) list;
       (* (workload, topology) -> (startup, best, passes) *)
@@ -71,6 +99,8 @@ type record = {
       (* absent in records predating the scheduling service *)
   telemetry : telemetry option;
       (* absent in records predating the logging overhead cell *)
+  scale : (string * scale_cell) list option;
+      (* absent in records predating the scale tier *)
 }
 
 let malformed line what =
@@ -160,8 +190,35 @@ let validate line json =
             overhead = field line t "overhead" Obs.Json.to_num;
           }
   in
-  { line; host = field line json "host" Obs.Json.to_str; quick; benchmarks;
-    schedules; portfolio; service; telemetry }
+  let scale =
+    match Obs.Json.member "scale" json with
+    | None -> None
+    | Some _ ->
+        Some
+          (field line json "scale" Obs.Json.to_list
+          |> List.map (fun item ->
+                 ( field line item "name" Obs.Json.to_str,
+                   {
+                     sc_nodes = field line item "nodes" Obs.Json.to_int;
+                     sc_ns_per_node =
+                       field line item "ns_per_node" Obs.Json.to_num;
+                     sc_startup_len =
+                       field line item "startup_len" Obs.Json.to_int;
+                     sc_startup_peak_rss =
+                       field line item "startup_peak_rss_bytes"
+                         Obs.Json.to_num;
+                   } )))
+  in
+  let calibration =
+    match Obs.Json.member "calibration_ns" json with
+    | None -> None
+    | Some j -> (
+        match Obs.Json.to_num j with
+        | Some n when n > 0. -> Some n
+        | _ -> malformed line "malformed \"calibration_ns\"")
+  in
+  { line; host = field line json "host" Obs.Json.to_str; quick; calibration;
+    benchmarks; schedules; portfolio; service; telemetry; scale }
 
 let load path =
   let ic =
@@ -183,6 +240,18 @@ let load path =
      done
    with End_of_file -> close_in ic);
   List.rev !records
+
+(* Hardware-speed ratio between two records: [Some 1.] when neither
+   carries a calibration figure (legacy vs legacy — the old absolute
+   comparison), the calibration quotient when both do, [None] when only
+   one does — then the records are from incomparable measurement eras
+   and ns checks are skipped rather than comparing raw nanoseconds
+   across unknown hardware. *)
+let speed_ratio candidate baseline =
+  match (candidate.calibration, baseline.calibration) with
+  | Some a, Some b -> Some (a /. b)
+  | None, None -> Some 1.
+  | _ -> None
 
 let () =
   let history, tolerance =
@@ -290,6 +359,84 @@ let () =
               tel.log_off_ns tel.log_on_ns;
           if tel.overhead > 1.05 then
             fail "telemetry: logging overhead %.3fx > 1.05x" tel.overhead);
+      (* scale tier: startup length is deterministic (generator seed and
+         sweep are both fixed), so growth against the most recent record
+         carrying the same cell is a hard failure; peak RSS hits an
+         absolute ceiling; ns/node compares same-host, same-quota like
+         ns/run.  These bound how the scheduler *scales*, which the small
+         shipped workloads above cannot see. *)
+      (match candidate.scale with
+      | None -> print_endline "no scale record; skipping scale gate"
+      | Some cells ->
+          List.iter
+            (fun (name, c) ->
+              Printf.printf
+                "scale %s: %.1f ns/node, startup len %d, peak rss %.1f MB\n"
+                name c.sc_ns_per_node c.sc_startup_len
+                (c.sc_startup_peak_rss /. 1048576.);
+              let ceiling = rss_ceiling_bytes c.sc_nodes in
+              if c.sc_startup_peak_rss > ceiling then
+                fail "scale %s: peak rss %.1f MB over the %.0f MB ceiling"
+                  name
+                  (c.sc_startup_peak_rss /. 1048576.)
+                  (ceiling /. 1048576.);
+              match
+                List.find_map
+                  (fun r -> Option.bind r.scale (List.assoc_opt name))
+                  earlier
+              with
+              | None -> ()
+              | Some c0 ->
+                  if c.sc_startup_len > c0.sc_startup_len then
+                    fail "scale %s: startup length %d -> %d (regression)" name
+                      c0.sc_startup_len c.sc_startup_len
+                  else if c.sc_startup_len < c0.sc_startup_len then
+                    Printf.printf "scale %s: startup length improved %d -> %d\n"
+                      name c0.sc_startup_len c.sc_startup_len)
+            cells;
+          (match
+             List.find_opt
+               (fun r ->
+                 r.host = candidate.host && r.quick = candidate.quick
+                 && r.scale <> None)
+               earlier
+           with
+          | None ->
+              Printf.printf
+                "no earlier scale record from host %S (quick=%b); skipping \
+                 ns/node comparison\n"
+                candidate.host candidate.quick
+          | Some baseline -> (
+              match speed_ratio candidate baseline with
+              | None ->
+                  Printf.printf
+                    "scale baseline at line %d has no shared calibration; \
+                     skipping ns/node comparison\n"
+                    baseline.line
+              | Some ratio ->
+                  List.iter
+                    (fun (name, c) ->
+                      match
+                        Option.bind baseline.scale (List.assoc_opt name)
+                      with
+                      | None -> ()
+                      | Some c0 when c0.sc_ns_per_node <= 0. -> ()
+                      | Some c0 ->
+                          let expect = c0.sc_ns_per_node *. ratio in
+                          let delta =
+                            100. *. ((c.sc_ns_per_node /. expect) -. 1.)
+                          in
+                          if delta > tolerance then
+                            fail
+                              "scale %s: %.1f ns/node -> %.1f ns/node \
+                               (%+.1f%% > %.0f%% after x%.2f calibration)"
+                              name c0.sc_ns_per_node c.sc_ns_per_node delta
+                              tolerance ratio
+                          else if delta < -.tolerance then
+                            Printf.printf
+                              "scale %s: ns/node improved %+.1f%%\n" name
+                              delta)
+                    cells)));
       (* ns/run: same host, same quota class only *)
       (match
          List.find_opt
@@ -301,23 +448,34 @@ let () =
             "no earlier record from host %S (quick=%b); skipping ns/run \
              comparison\n"
             candidate.host candidate.quick
-      | Some baseline ->
-          Printf.printf
-            "comparing ns/run against record at line %d (tolerance %.0f%%)\n"
-            baseline.line tolerance;
-          List.iter
-            (fun (name, ns) ->
-              match List.assoc_opt name baseline.benchmarks with
-              | None -> ()
-              | Some ns0 when ns0 <= 0. -> ()
-              | Some ns0 ->
-                  let delta = 100. *. ((ns /. ns0) -. 1.) in
-                  if delta > tolerance then
-                    fail "%s: %.1f ns -> %.1f ns (%+.1f%% > %.0f%%)" name ns0
-                      ns delta tolerance
-                  else if delta < -.tolerance then
-                    Printf.printf "%s: improved %+.1f%%\n" name delta)
-            candidate.benchmarks);
+      | Some baseline -> (
+          match speed_ratio candidate baseline with
+          | None ->
+              Printf.printf
+                "baseline at line %d has no shared calibration; skipping \
+                 ns/run comparison\n"
+                baseline.line
+          | Some ratio ->
+              Printf.printf
+                "comparing ns/run against record at line %d (tolerance \
+                 %.0f%%, calibration x%.2f)\n"
+                baseline.line tolerance ratio;
+              List.iter
+                (fun (name, ns) ->
+                  match List.assoc_opt name baseline.benchmarks with
+                  | None -> ()
+                  | Some ns0 when ns0 <= 0. -> ()
+                  | Some ns0 ->
+                      let expect = ns0 *. ratio in
+                      let delta = 100. *. ((ns /. expect) -. 1.) in
+                      if delta > tolerance then
+                        fail
+                          "%s: %.1f ns -> %.1f ns (%+.1f%% > %.0f%% after \
+                           x%.2f calibration)"
+                          name ns0 ns delta tolerance ratio
+                      else if delta < -.tolerance then
+                        Printf.printf "%s: improved %+.1f%%\n" name delta)
+                candidate.benchmarks));
       if !failures = [] then print_endline "bench regression gate: OK"
       else begin
         print_endline "bench regression gate: FAILED";

@@ -213,6 +213,74 @@ let schedule_rows () =
   Obs.Counters.disable ();
   rows
 
+(* Scale-tier cells: a layered DAG at 10^4 and 10^5 nodes, generated
+   and startup-scheduled once each, wall-clock timed per phase with the
+   process RSS high-water mark sampled after each phase.  The startup
+   length is exact, so any movement is a behaviour change; ns/node and
+   peak RSS are what the regression gate bounds (same-host tolerance
+   and an absolute ceiling respectively) — the early-warning line
+   against the sweep or the occupancy index going superlinear again.
+   These cells run first in main so the high-water mark is attributable
+   to this phase rather than to whichever earlier phase grew the heap
+   most. *)
+type scale_cell = {
+  sc_name : string;
+  sc_nodes : int;
+  sc_topology : string;
+  sc_gen_ns : int;
+  sc_startup_ns : int;
+  sc_ns_per_node : float;
+  sc_startup_len : int;
+  sc_gen_peak_rss : int;  (* bytes, after generation *)
+  sc_startup_peak_rss : int;  (* bytes, after the startup sweep *)
+}
+
+let scale_cells () =
+  List.map
+    (fun nodes ->
+      let t0 = Obs.Trace.now_ns () in
+      let g = Workloads.Random_gen.layered ~nodes ~seed:1 () in
+      let t1 = Obs.Trace.now_ns () in
+      let gen_peak =
+        (Obs.Resource.sample_process ()).Obs.Resource.peak_rss_bytes
+      in
+      let s = Cyclo.Startup.run_on g (Topology.linear_array 8) in
+      let t2 = Obs.Trace.now_ns () in
+      let startup_peak =
+        (Obs.Resource.sample_process ()).Obs.Resource.peak_rss_bytes
+      in
+      {
+        sc_name = Csdfg.name g;
+        sc_nodes = nodes;
+        sc_topology = "linear8";
+        sc_gen_ns = t1 - t0;
+        sc_startup_ns = t2 - t1;
+        sc_ns_per_node = float_of_int (t2 - t1) /. float_of_int nodes;
+        sc_startup_len = Schedule.length s;
+        sc_gen_peak_rss = gen_peak;
+        sc_startup_peak_rss = startup_peak;
+      })
+    [ 10_000; 100_000 ]
+
+let scale_json cells =
+  let buf = Buffer.create 512 in
+  Buffer.add_char buf '[';
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"%s\",\"nodes\":%d,\"topology\":\"%s\",\
+            \"gen_ns\":%d,\"startup_ns\":%d,\"ns_per_node\":%.1f,\
+            \"startup_len\":%d,\"gen_peak_rss_bytes\":%d,\
+            \"startup_peak_rss_bytes\":%d}"
+           (json_escape c.sc_name) c.sc_nodes (json_escape c.sc_topology)
+           c.sc_gen_ns c.sc_startup_ns c.sc_ns_per_node c.sc_startup_len
+           c.sc_gen_peak_rss c.sc_startup_peak_rss))
+    cells;
+  Buffer.add_char buf ']';
+  Buffer.contents buf
+
 (* Portfolio vs sequential pair: the same K diversified searches driven
    with shared-bound pruning (Portfolio.run defaults) against the
    baseline that drives every search to its natural end
@@ -521,20 +589,47 @@ let telemetry_json tel =
     "{\"log_off_ns\":%.1f,\"log_on_ns\":%.1f,\"overhead\":%.4f}"
     tel.tel_log_off_ns tel.tel_log_on_ns tel.tel_overhead
 
+(* Machine-speed calibration: a frozen mix of integer arithmetic and
+   short-lived allocation, timed best-of-5.  The history gate divides
+   ns/run figures by this before comparing records, because records
+   sharing a hostname are not guaranteed to share hardware (containers
+   all report the same name while the VM underneath varies — observed
+   2x run-to-run on otherwise identical code).  NEVER change the loop:
+   editing it rescales every comparison against existing history. *)
+let calibration_ns () =
+  let work () =
+    let acc = ref 0 in
+    for i = 1 to 2_000_000 do
+      let p = (i, !acc lxor (i * 0x9e3779b1)) in
+      acc := fst p + (snd p lsr 7)
+    done;
+    !acc
+  in
+  ignore (Sys.opaque_identity (work ()));
+  let best = ref max_int in
+  for _ = 1 to 5 do
+    let t0 = Obs.Trace.now_ns () in
+    ignore (Sys.opaque_identity (work ()));
+    let dt = Obs.Trace.now_ns () - t0 in
+    if dt < !best then best := dt
+  done;
+  !best
+
 (* One line per run appended to BENCH_history.jsonl; check_regression.ml
    reads it back (schema "ccsched-bench-history/1", see bench/README.md).
-   ns/run figures are only comparable between records from the same host
-   with the same --quick setting, so both are recorded. *)
-let append_history path ~quick rows sched_rows pf_cells svc tel =
+   ns/run figures are only comparable between records with a shared
+   calibration baseline (hostname alone does not pin the hardware), so
+   host, --quick setting and calibration are all recorded. *)
+let append_history path ~quick ~cal rows sched_rows scale pf_cells svc tel =
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
     (Printf.sprintf
        "{\"schema\":\"ccsched-bench-history/1\",\"unix_time\":%.0f,\
-        \"host\":\"%s\",\"quick\":%b,\"benchmarks\":["
+        \"host\":\"%s\",\"quick\":%b,\"calibration_ns\":%d,\"benchmarks\":["
        (Unix.time ())
        (json_escape (Unix.gethostname ()))
-       quick);
+       quick cal);
   List.iteri
     (fun i (name, ns) ->
       if i > 0 then Buffer.add_char buf ',';
@@ -574,7 +669,9 @@ let append_history path ~quick rows sched_rows pf_cells svc tel =
            (json_escape c.pf_workload) (json_escape c.pf_topology) c.seq_ms
            c.pf_ms c.seq_passes c.pf_passes c.winner_len c.winner_match))
     pf_cells;
-  Buffer.add_string buf "]},\"service\":";
+  Buffer.add_string buf "]},\"scale\":";
+  Buffer.add_string buf (scale_json scale);
+  Buffer.add_string buf ",\"service\":";
   Buffer.add_string buf (service_json svc);
   Buffer.add_string buf ",\"telemetry\":";
   Buffer.add_string buf (telemetry_json tel);
@@ -599,7 +696,11 @@ let phase_profile () =
   Obs.Counters.disable ();
   (Obs.Trace.aggregate (), Obs.Counters.dump ())
 
-let emit_json path rows pf_cells svc tel =
+(* The whole document is rendered into one Buffer and written with a
+   single [output_string]: partial files from a crash mid-emission
+   cannot then look like valid (truncated-but-parseable) JSON, and the
+   emission itself stops being a long sequence of tiny writes. *)
+let emit_json path ~cal rows scale pf_cells svc tel =
   let find name = List.assoc_opt name rows in
   let speedup =
     match
@@ -617,32 +718,32 @@ let emit_json path rows pf_cells svc tel =
     | Some recorded, Some plain when plain > 0. -> Some (recorded /. plain)
     | _ -> None
   in
-  let oc = open_out path in
-  output_string oc "{\n  \"benchmarks\": [\n";
+  let buf = Buffer.create 8192 in
+  Printf.bprintf buf "{\n  \"calibration_ns\": %d,\n  \"benchmarks\": [\n" cal;
   List.iteri
     (fun i (name, ns) ->
-      Printf.fprintf oc "    {\"name\": \"%s\", \"ns_per_run\": %.1f}%s\n"
+      Printf.bprintf buf "    {\"name\": \"%s\", \"ns_per_run\": %.1f}%s\n"
         (json_escape name) ns
         (if i = List.length rows - 1 then "" else ","))
     rows;
-  output_string oc "  ]";
+  Buffer.add_string buf "  ]";
   (match speedup with
   | Some r ->
-      Printf.fprintf oc ",\n  \"startup_speedup_elliptic_mesh4x4\": %.2f" r
+      Printf.bprintf buf ",\n  \"startup_speedup_elliptic_mesh4x4\": %.2f" r
   | None -> ());
   (match recorder_overhead with
   | Some r ->
-      Printf.fprintf oc ",\n  \"sim_recorder_overhead_elliptic_mesh4x4\": %.2f"
+      Printf.bprintf buf ",\n  \"sim_recorder_overhead_elliptic_mesh4x4\": %.2f"
         r
   | None -> ());
   let pf_speedup, pf_match = portfolio_summary pf_cells in
-  Printf.fprintf oc
+  Printf.bprintf buf
     ",\n  \"portfolio_speedup_aggregate\": %.2f,\n  \
      \"portfolio_winner_match\": %b,\n  \"portfolio_cells\": [\n"
     pf_speedup pf_match;
   List.iteri
     (fun i c ->
-      Printf.fprintf oc
+      Printf.bprintf buf
         "    {\"workload\": \"%s\", \"topology\": \"%s\", \"seq_ms\": %.1f, \
          \"portfolio_ms\": %.1f, \"seq_passes\": %d, \"portfolio_passes\": \
          %d, \"winner_len\": %d, \"winner_match\": %b}%s\n"
@@ -650,26 +751,29 @@ let emit_json path rows pf_cells svc tel =
         c.pf_ms c.seq_passes c.pf_passes c.winner_len c.winner_match
         (if i = List.length pf_cells - 1 then "" else ","))
     pf_cells;
-  output_string oc "  ]";
-  Printf.fprintf oc ",\n  \"service\": %s" (service_json svc);
-  Printf.fprintf oc ",\n  \"telemetry\": %s" (telemetry_json tel);
+  Buffer.add_string buf "  ]";
+  Printf.bprintf buf ",\n  \"scale\": %s" (scale_json scale);
+  Printf.bprintf buf ",\n  \"service\": %s" (service_json svc);
+  Printf.bprintf buf ",\n  \"telemetry\": %s" (telemetry_json tel);
   let phases, counters = phase_profile () in
-  output_string oc ",\n  \"phases_elliptic_mesh4x4\": [\n";
+  Buffer.add_string buf ",\n  \"phases_elliptic_mesh4x4\": [\n";
   List.iteri
     (fun i (name, count, total_ns) ->
-      Printf.fprintf oc
+      Printf.bprintf buf
         "    {\"span\": \"%s\", \"count\": %d, \"total_ns\": %d}%s\n"
         (json_escape name) count total_ns
         (if i = List.length phases - 1 then "" else ","))
     phases;
-  output_string oc "  ],\n  \"counters_elliptic_mesh4x4\": {\n";
+  Buffer.add_string buf "  ],\n  \"counters_elliptic_mesh4x4\": {\n";
   List.iteri
     (fun i (name, v) ->
-      Printf.fprintf oc "    \"%s\": %d%s\n" (json_escape name) v
+      Printf.bprintf buf "    \"%s\": %d%s\n" (json_escape name) v
         (if i = List.length counters - 1 then "" else ","))
     counters;
-  output_string oc "  }";
-  output_string oc "\n}\n";
+  Buffer.add_string buf "  }";
+  Buffer.add_string buf "\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
   close_out oc;
   (match speedup with
   | Some r -> Fmt.pr "startup speedup (naive / indexed): %.2fx@." r
@@ -682,6 +786,26 @@ let emit_json path rows pf_cells svc tel =
 let () =
   let quick = Array.exists (( = ) "--quick") Sys.argv in
   let quota = if quick then 0.05 else 0.5 in
+  let scale = scale_cells () in
+  List.iter
+    (fun c ->
+      Fmt.pr
+        "scale %-16s %7d nodes on %-8s gen %7.1f ms  startup %8.1f ms  \
+         %7.1f ns/node  len %6d  peak rss %5.1f MB@."
+        c.sc_name c.sc_nodes c.sc_topology
+        (float_of_int c.sc_gen_ns /. 1e6)
+        (float_of_int c.sc_startup_ns /. 1e6)
+        c.sc_ns_per_node c.sc_startup_len
+        (float_of_int c.sc_startup_peak_rss /. 1048576.))
+    scale;
+  (* The 100k-node cell grows the major heap to ~200 MB; left in place
+     it would tax every Bechamel measurement below with GC work over a
+     heap an order of magnitude larger than the workloads need, reading
+     as a uniform ns/run regression.  Return the heap to baseline before
+     measuring anything else. *)
+  Gc.compact ();
+  let cal = calibration_ns () in
+  Fmt.pr "calibration %d ns (frozen loop, best of 5)@." cal;
   let rows =
     measure ~quota (tests ())
     |> List.sort (fun (a, _) (b, _) -> compare a b)
@@ -730,5 +854,6 @@ let () =
   Fmt.pr
     "telemetry hit path log-off %.1f ns, log-on %.1f ns (overhead %.3fx)@."
     tel.tel_log_off_ns tel.tel_log_on_ns tel.tel_overhead;
-  emit_json "BENCH_sched.json" rows pf_cells svc tel;
-  append_history "BENCH_history.jsonl" ~quick rows sched_rows pf_cells svc tel
+  emit_json "BENCH_sched.json" ~cal rows scale pf_cells svc tel;
+  append_history "BENCH_history.jsonl" ~quick ~cal rows sched_rows scale
+    pf_cells svc tel

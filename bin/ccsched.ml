@@ -18,7 +18,34 @@ let die code msg =
   Fmt.epr "ccsched: %s@." msg;
   exit code
 
+(* scale:NODES[:SEED] — generated on demand rather than registered in
+   the suite, so daemon start and `ccsched list` never pay for building
+   a 10^5-node graph nobody asked for. *)
+let parse_scale_spec spec =
+  match String.split_on_char ':' spec with
+  | "scale" :: rest -> (
+      match rest with
+      | [ n ] | [ n; _ ] -> (
+          let seed =
+            match rest with
+            | [ _; s ] -> (
+                match int_of_string_opt s with
+                | Some s -> Some s
+                | None -> die 2 (Printf.sprintf "bad scale spec %S" spec))
+            | _ -> Some 1
+          in
+          match int_of_string_opt n with
+          | Some n when n >= 1 ->
+              Some (Workloads.Random_gen.layered ~nodes:n
+                      ~seed:(Option.value ~default:1 seed) ())
+          | _ -> die 2 (Printf.sprintf "bad scale spec %S (need scale:NODES[:SEED], NODES >= 1)" spec))
+      | _ -> die 2 (Printf.sprintf "bad scale spec %S" spec))
+  | _ -> None
+
 let load_graph spec =
+  match parse_scale_spec spec with
+  | Some g -> g
+  | None ->
   match Workloads.Suite.find spec with
   | Some g -> g
   | None ->
@@ -129,23 +156,32 @@ let metrics_flag =
            ~doc:"Print the observability counters registry after the run.")
 
 (* Enable the requested collectors, run, then export: the profile file
-   carries the spans plus a counters block; --metrics prints the
-   registry on stdout.  With neither flag every probe stays a no-op. *)
+   carries the spans plus counters/resources blocks; --metrics prints
+   the registries on stdout.  With neither flag every probe stays a
+   no-op.  Resource attribution rides the same probes as tracing, so
+   both flags turn it on: the profile embeds the per-phase resource
+   rollup under "resources", and --metrics prints the same table. *)
 let with_observability ~profile ~metrics run =
   if profile <> None then Obs.Trace.enable ();
   if profile <> None || metrics then begin
     Obs.Counters.enable ();
-    Obs.Histogram.enable ()
+    Obs.Histogram.enable ();
+    Obs.Resource.enable ()
   end;
   let result = run () in
+  (* final memory reading lands in the counters registry before the
+     collectors freeze, so process.*/gc.* rows show up in both exports *)
+  Obs.Resource.refresh_process_gauges ();
   Obs.Trace.disable ();
   Obs.Counters.disable ();
   Obs.Histogram.disable ();
+  Obs.Resource.disable ();
   (match profile with
   | Some path ->
       let json =
         Obs.Trace.to_chrome_json ~counters:(Obs.Counters.dump ())
-          ~histograms:(Obs.Histogram.dump ()) ()
+          ~histograms:(Obs.Histogram.dump ())
+          ~resources:(Obs.Resource.rollup_json ()) ()
       in
       Cyclo.Export.write_file ~path json;
       Fmt.pr "wrote profile %s@." path
@@ -153,7 +189,9 @@ let with_observability ~profile ~metrics run =
   if metrics then begin
     Fmt.pr "@.metrics:@.%a" Obs.Counters.pp_summary ();
     if List.exists (fun (_, b) -> b <> []) (Obs.Histogram.dump ()) then
-      Fmt.pr "@.histograms:@.%a" Obs.Histogram.pp_summary ()
+      Fmt.pr "@.histograms:@.%a" Obs.Histogram.pp_summary ();
+    if Obs.Resource.spans () <> [] then
+      Fmt.pr "@.resources:@.%a" Obs.Resource.pp_summary ()
   end;
   result
 
@@ -199,12 +237,36 @@ let show_cmd =
     Term.(const run $ graph_arg $ slowdown_arg)
 
 let schedule_cmd =
+  let startup_only_flag =
+    Arg.(value & flag
+         & info [ "startup-only" ]
+             ~doc:"Stop after start-up scheduling (no compaction) — the \
+                   scale-tier mode: linear-ish work, so usable on \
+                   $(b,scale:100000) graphs where pass-based compaction \
+                   is not.")
+  in
   let run spec arch mode passes slowdown speeds portfolio domains table trace
-      profile metrics =
+      startup_only profile metrics =
     let g = prepared spec slowdown in
     let topo = or_die (parse_arch arch) in
     let speeds = or_die (parse_speeds topo speeds) in
     with_observability ~profile ~metrics @@ fun () ->
+    if startup_only then begin
+      let startup = Cyclo.Startup.run_on ?speeds g topo in
+      Fmt.pr "workload %s on %s (startup only)@." (Dataflow.Csdfg.name g)
+        (Topology.name topo);
+      Fmt.pr "start-up length: %d@." (Cyclo.Schedule.length startup);
+      Fmt.pr "metrics: %a@." Cyclo.Metrics.pp_summary startup;
+      if table then Fmt.pr "@.start-up schedule:@.%a@." Cyclo.Schedule.pp startup;
+      match Cyclo.Validator.check startup with
+      | Ok () -> ()
+      | Error problems ->
+          Fmt.epr "INTERNAL ERROR: emitted an illegal schedule:@.%a@."
+            (Fmt.list (Cyclo.Validator.pp_violation startup))
+            problems;
+          exit 1
+    end
+    else
     match portfolio with
     | Some k ->
         if k < 1 then die 3 "--portfolio needs K >= 1";
@@ -257,7 +319,7 @@ let schedule_cmd =
     Term.(
       const run $ graph_arg $ arch_arg $ mode_arg $ passes_arg $ slowdown_arg
       $ speeds_arg $ portfolio_arg $ domains_arg $ table_flag $ trace_flag
-      $ profile_arg $ metrics_flag)
+      $ startup_only_flag $ profile_arg $ metrics_flag)
 
 let compare_cmd =
   let run spec passes slowdown =
@@ -1449,6 +1511,14 @@ let top_cmd =
         (pp_quantile (quantile 0.99));
       Fmt.pr "load          queue depth %d, active clients %d@."
         h.SP.queue_depth h.SP.active_clients;
+      let pp_mb b = Printf.sprintf "%.1f MB" (float_of_int b /. 1048576.) in
+      Fmt.pr "memory        rss %s (peak %s), heap %s, gc %.1f minor/s %.2f \
+              major/s@."
+        (pp_mb h.SP.rss_bytes)
+        (pp_mb h.SP.peak_rss_bytes)
+        (pp_mb (h.SP.heap_words * (Sys.word_size / 8)))
+        (value_of d "gc.minor_collections" /. dt)
+        (value_of d "gc.major_collections" /. dt);
       Fmt.pr "cache         %d/%d entries, %.0f evictions@." h.SP.cache_entries
         h.SP.cache_capacity
         (value_of f2 "service.cache_evictions");
@@ -1480,8 +1550,9 @@ let top_cmd =
     (Cmd.info "top"
        ~doc:"Live dashboard over a running daemon: poll health and metrics \
              every interval and show request rate, cache hit rate, latency \
-             quantiles from histogram deltas, queue depth, cache occupancy \
-             and the last replan verdict.  $(b,--once) prints a single plain \
+             quantiles from histogram deltas, queue depth, active clients, \
+             resident/heap memory with GC rates, cache occupancy and the \
+             last replan verdict.  $(b,--once) prints a single plain \
              snapshot for scripts.")
     Term.(const run $ socket_arg $ interval_arg $ once_flag $ count_arg)
 

@@ -61,6 +61,33 @@ let pf t sched ~cs v =
   | Some p -> p
   | None -> -mobility t v
 
+type key = Affine of int | Const of int
+
+let sort_key strategy t sched v =
+  match strategy with
+  | Pf -> (
+      (* [pf] at step cs is [max over assigned zero-delay preds
+         (m + CE u + 1) - MB v - cs]: affine in cs with a slope shared
+         by every such node, so the constant part alone orders them at
+         any step.  The fallback [-MB v] has no cs term. *)
+      let k =
+        List.fold_left
+          (fun acc (e : Csdfg.attr G.edge) ->
+            if Csdfg.delay e <> 0 || not (Schedule.is_assigned sched e.G.src)
+            then acc
+            else begin
+              let b = Csdfg.volume e + Schedule.ce sched e.G.src + 1 in
+              match acc with Some x when x >= b -> acc | _ -> Some b
+            end)
+          None (Csdfg.pred t.dfg v)
+      in
+      match k with
+      | Some k -> Affine (k - mobility t v)
+      | None -> Const (-mobility t v))
+  | Static_level -> Const t.levels.(v)
+  | Mobility_only -> Const (-mobility t v)
+  | Fifo -> Const (-v)
+
 let score strategy t sched ~cs v =
   match strategy with
   | Pf -> pf t sched ~cs v

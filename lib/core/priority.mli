@@ -42,3 +42,17 @@ val sort_ready :
   ?strategy:strategy -> t -> Schedule.t -> cs:int -> int list -> int list
 (** Descending priority under the strategy (default {!Pf}); ties broken
     by ascending node id for determinism. *)
+
+type key = Affine of int | Const of int
+    (** Step-invariant decomposition of {!score}: [Affine k] scores
+        [k - cs] when step [cs] is being filled, [Const k] scores [k] at
+        every step.  [compare (score ~cs a) (score ~cs b)] therefore never
+        changes between steps within a class, which is what lets the
+        start-up sweep keep its ready queue sorted instead of re-sorting
+        it every control step. *)
+
+val sort_key : strategy -> t -> Schedule.t -> int -> key
+(** The decomposition of [score strategy t sched ~cs v].  Valid for as
+    long as the node's zero-delay predecessors keep their placements —
+    for a {e ready} node they are all final, so the key can be computed
+    once when the node turns ready. *)

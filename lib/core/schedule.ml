@@ -1,30 +1,39 @@
 module Csdfg = Dataflow.Csdfg
+module Imap = Map.Make (Int)
 
 type entry = { cb : int; pe : int }
 
-(* One occupied run of control steps on a processor.  Per-processor lists
-   are kept ascending by [lo] and pairwise disjoint (assign enforces
-   disjointness), which also makes them ascending by [hi]. *)
+(* One occupied run of control steps on a processor.  Per-processor
+   indexes are keyed by [lo] and pairwise disjoint (assign enforces
+   disjointness), so ascending [lo] order is also ascending [hi] order.
+
+   Both the node table and the occupancy index are persistent maps, not
+   arrays: compaction's undo/compare style relies on cheap persistent
+   snapshots, and the previous array-copy-per-assign plus
+   scan-from-the-head interval lists made every placement O(nodes) —
+   the whole start-up sweep went quadratic, which the 10^5-node scale
+   tier cannot afford.  Every occupancy query below is one O(log)
+   neighbour lookup instead. *)
 type interval = { lo : int; hi : int; node : int }
 
 type t = {
   dfg : Csdfg.t;
   comm : Comm.t;
   speeds : int array;  (* per-processor cycle-time multiplier, >= 1 *)
-  entries : entry option array;
-  occ : interval list array;  (* occupancy index: one sorted list per PE *)
+  entries : entry Imap.t;  (* node id -> placement *)
+  occ : interval Imap.t array;  (* occupancy index: lo -> interval, per PE *)
   length : int;
 }
 
-let insert_interval iv l =
-  let rec go = function
-    | [] -> [ iv ]
-    | x :: _ as l when iv.lo < x.lo -> iv :: l
-    | x :: rest -> x :: go rest
-  in
-  go l
+let insert_interval iv m = Imap.add iv.lo iv m
+let remove_interval lo m = Imap.remove lo m
 
-let remove_interval node l = List.filter (fun iv -> iv.node <> node) l
+(* The last interval starting at or before [cs] is the only one that can
+   cover [cs]. *)
+let covering m cs =
+  match Imap.find_last_opt (fun lo -> lo <= cs) m with
+  | Some (_, iv) when cs <= iv.hi -> Some iv
+  | _ -> None
 
 let empty ?speeds dfg comm =
   let np = Comm.n_processors comm in
@@ -40,8 +49,8 @@ let empty ?speeds dfg comm =
           s;
         Array.copy s
   in
-  { dfg; comm; speeds; entries = Array.make (Csdfg.n_nodes dfg) None;
-    occ = Array.make np []; length = 0 }
+  { dfg; comm; speeds; entries = Imap.empty;
+    occ = Array.make np Imap.empty; length = 0 }
 
 let speeds t = Array.copy t.speeds
 let is_heterogeneous t = Array.exists (fun s -> s <> t.speeds.(0)) t.speeds
@@ -59,15 +68,13 @@ let length t = t.length
 let n_processors t = Comm.n_processors t.comm
 
 let entry t v =
-  if v < 0 || v >= Array.length t.entries then
+  if v < 0 || v >= Csdfg.n_nodes t.dfg then
     invalid_arg "Schedule.entry: node out of range";
-  t.entries.(v)
+  Imap.find_opt v t.entries
 
 let is_assigned t v = entry t v <> None
-let assigned_all t = Array.for_all Option.is_some t.entries
-
-let n_assigned t =
-  Array.fold_left (fun acc -> function Some _ -> acc + 1 | None -> acc) 0 t.entries
+let assigned_all t = Imap.cardinal t.entries = Csdfg.n_nodes t.dfg
+let n_assigned t = Imap.cardinal t.entries
 
 let get_exn t v ctx =
   match entry t v with
@@ -88,12 +95,12 @@ let ce t v =
 (* Disjoint intervals sorted by [lo] are also sorted by [hi], so the
    last interval of each processor carries that processor's largest CE. *)
 let rows_needed t =
-  let rec last_hi acc = function
-    | [] -> acc
-    | [ iv ] -> max acc iv.hi
-    | _ :: rest -> last_hi acc rest
-  in
-  Array.fold_left last_hi 0 t.occ
+  Array.fold_left
+    (fun acc m ->
+      match Imap.max_binding_opt m with
+      | Some (_, iv) -> max acc iv.hi
+      | None -> acc)
+    0 t.occ
 
 let set_length t len =
   if len < rows_needed t then
@@ -106,23 +113,17 @@ let c_occupancy_queries = Obs.Counters.counter "schedule.occupancy_queries"
 
 let node_at t ~pe ~cs =
   Obs.Counters.incr c_occupancy_queries;
-  let rec go = function
-    | [] -> None
-    | iv :: rest ->
-        if iv.lo > cs then None
-        else if cs <= iv.hi then Some iv.node
-        else go rest
-  in
-  go t.occ.(pe)
+  match covering t.occ.(pe) cs with
+  | Some iv -> Some iv.node
+  | None -> None
 
 let is_free t ~pe ~cb ~span:width =
   Obs.Counters.incr c_occupancy_queries;
-  let hi_q = cb + width - 1 in
-  let rec go = function
-    | [] -> true
-    | iv :: rest -> if iv.hi < cb then go rest else iv.lo > hi_q
-  in
-  go t.occ.(pe)
+  (* an overlap of [cb .. cb+width-1] must be the last interval starting
+     at or before the window's end *)
+  match Imap.find_last_opt (fun lo -> lo <= cb + width - 1) t.occ.(pe) with
+  | Some (_, iv) -> iv.hi < cb
+  | None -> true
 
 let assign t ~node ~cb ~pe =
   if cb < 1 then invalid_arg "Schedule.assign: control steps start at 1";
@@ -137,18 +138,16 @@ let assign t ~node ~cb ~pe =
     invalid_arg
       (Printf.sprintf "Schedule.assign: slot pe%d cs%d..%d is occupied" (pe + 1)
          cb (cb + span - 1));
-  let entries = Array.copy t.entries in
-  entries.(node) <- Some { cb; pe };
+  let entries = Imap.add node { cb; pe } t.entries in
   let occ = Array.copy t.occ in
   occ.(pe) <- insert_interval { lo = cb; hi = cb + span - 1; node } occ.(pe);
   { t with entries; occ; length = max t.length (cb + span - 1) }
 
 let unassign t node =
   let e = get_exn t node "unassign" in
-  let entries = Array.copy t.entries in
-  entries.(node) <- None;
+  let entries = Imap.remove node t.entries in
   let occ = Array.copy t.occ in
-  occ.(e.pe) <- remove_interval node occ.(e.pe);
+  occ.(e.pe) <- remove_interval e.cb occ.(e.pe);
   { t with entries; occ }
 
 let unassign_all t nodes = List.fold_left unassign t nodes
@@ -173,21 +172,26 @@ let with_comm t comm =
 
 let first_free_slot t ~pe ~from ~span:width =
   Obs.Counters.incr c_occupancy_queries;
-  let from = max 1 from in
-  let rec scan cs = function
-    | [] -> cs
-    | iv :: rest ->
-        if iv.hi < cs then scan cs rest
-        else if iv.lo > cs + width - 1 then cs
-        else scan (iv.hi + 1) rest
+  let m = t.occ.(pe) in
+  (* When the window [cs .. cs+width-1] overlaps anything, every later
+     window before the end of the furthest overlap also overlaps it
+     (intervals are disjoint and the window is fixed-width), so jumping
+     to that overlap's [hi + 1] skips no feasible start. *)
+  let rec scan cs =
+    match Imap.find_last_opt (fun lo -> lo <= cs + width - 1) m with
+    | Some (_, iv) when iv.hi >= cs -> scan (iv.hi + 1)
+    | _ -> cs
   in
-  scan from t.occ.(pe)
+  scan (max 1 from)
 
 let first_row t =
-  (* Only the head of a processor's sorted list can start at row 1. *)
+  (* Only a processor's first interval can start at row 1. *)
   let heads =
     Array.fold_left
-      (fun acc -> function iv :: _ when iv.lo = 1 -> iv.node :: acc | _ -> acc)
+      (fun acc m ->
+        match Imap.min_binding_opt m with
+        | Some (_, iv) when iv.lo = 1 -> iv.node :: acc
+        | _ -> acc)
       [] t.occ
   in
   List.sort compare heads
@@ -199,12 +203,15 @@ let shift_up t =
         (Printf.sprintf "Schedule.shift_up: node %s starts at row 1"
            (Csdfg.label t.dfg v))
   | [] -> ());
-  let entries =
-    Array.map (Option.map (fun e -> { e with cb = e.cb - 1 })) t.entries
-  in
+  let entries = Imap.map (fun e -> { e with cb = e.cb - 1 }) t.entries in
   let occ =
     Array.map
-      (List.map (fun iv -> { iv with lo = iv.lo - 1; hi = iv.hi - 1 }))
+      (fun m ->
+        Imap.fold
+          (fun _ iv acc ->
+            let iv = { iv with lo = iv.lo - 1; hi = iv.hi - 1 } in
+            Imap.add iv.lo iv acc)
+          m Imap.empty)
       t.occ
   in
   { t with entries; occ; length = max 0 (t.length - 1) }
@@ -217,23 +224,29 @@ let normalize t =
   let rows = rows_needed t in
   if t.length > rows && rows > 0 then { t with length = rows } else t
 
+(* The three digests below still walk nodes in dense id order (including
+   unassigned gaps), so their results are bit-for-bit what the array
+   representation produced — portfolio's deterministic result rule and
+   the golden signatures depend on that. *)
+
 let compare_assignments a b =
   let key t =
     ( t.length,
-      Array.to_list
-        (Array.map (function None -> (-1, -1) | Some e -> (e.cb, e.pe)) t.entries)
-    )
+      List.init (Csdfg.n_nodes t.dfg) (fun v ->
+          match Imap.find_opt v t.entries with
+          | None -> (-1, -1)
+          | Some e -> (e.cb, e.pe)) )
   in
   compare (key a) (key b)
 
 let signature t =
   let buf = Buffer.create 64 in
   Buffer.add_string buf (string_of_int t.length);
-  Array.iter
-    (function
-      | None -> Buffer.add_string buf ";_"
-      | Some e -> Buffer.add_string buf (Printf.sprintf ";%d@%d" e.cb e.pe))
-    t.entries;
+  for v = 0 to Csdfg.n_nodes t.dfg - 1 do
+    match Imap.find_opt v t.entries with
+    | None -> Buffer.add_string buf ";_"
+    | Some e -> Buffer.add_string buf (Printf.sprintf ";%d@%d" e.cb e.pe)
+  done;
   Buffer.contents buf
 
 (* FNV-1a over (length, per-node cb/pe); native-int wraparound is the
@@ -243,11 +256,11 @@ let signature t =
 let hash t =
   let mix h x = (h lxor x) * 0x100000001b3 in
   let h = ref (mix 0x2545f4914f6cdd1d t.length) in
-  Array.iter
-    (function
-      | None -> h := mix !h (-1)
-      | Some e -> h := mix (mix !h e.cb) e.pe)
-    t.entries;
+  for v = 0 to Csdfg.n_nodes t.dfg - 1 do
+    match Imap.find_opt v t.entries with
+    | None -> h := mix !h (-1)
+    | Some e -> h := mix (mix !h e.cb) e.pe
+  done;
   !h land max_int
 
 let pp ppf t =

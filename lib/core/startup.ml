@@ -151,6 +151,21 @@ let c_runs = Obs.Counters.counter "startup.runs"
 let c_steps = Obs.Counters.counter "startup.steps"
 let c_steps_skipped = Obs.Counters.counter "startup.steps_skipped"
 
+(* Ready queue.  Elements are [(negated priority key, node)], so the
+   set's ascending order is descending priority with ties broken on
+   ascending id — exactly [Priority.sort_ready]'s order.
+   [Priority.sort_key] splits every score into a class whose scores are
+   affine in the control step and a class whose scores are constant;
+   relative order inside each class never changes between steps, so one
+   sorted set per class replaces the former sort-the-whole-ready-list-
+   every-step (O(ready log ready) per step — quadratic over a resource-
+   bound sweep, where the ready backlog grows with the graph). *)
+module Rset = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
 let run ?(priority_strategy = Priority.Pf) ?speeds dfg comm =
   Obs.Counters.incr c_runs;
   Obs.Trace.with_span "startup.run"
@@ -166,9 +181,10 @@ let run ?(priority_strategy = Priority.Pf) ?speeds dfg comm =
   let np = Comm.n_processors comm in
   let remaining_preds = Array.copy in_degrees in
   let in_list = Array.make n false in
-  let ready = ref [] in
+  let ready_aff = ref Rset.empty in
+  let ready_const = ref Rset.empty in
   (* Nodes becoming ready while the current step is being filled join the
-     list only on the next step, like the paper's dlist. *)
+     queue only on the next step, like the paper's dlist. *)
   let pending = ref [] in
   let promote v =
     if remaining_preds.(v) = 0 && not in_list.(v) then begin
@@ -217,76 +233,129 @@ let run ?(priority_strategy = Priority.Pf) ?speeds dfg comm =
   let fuel =
     (Csdfg.total_time dfg * max_speed * (1 + max_comm_cost)) + n + 1
   in
+  let placed_any = ref false in
+  (* Processors still free at the step being filled.  A placement always
+     starts at the current step, so once every processor is occupied
+     there nothing further can place and the scan stops early — except
+     under the journal, whose per-candidate rejection records need every
+     ready node probed, as before. *)
+  let free_pes = ref 0 in
+  let probe v =
+    (* Best feasible processor: smallest (arrival bound, id) — the same
+       order [List.sort compare] gave the (bound, pe) candidate pairs,
+       computed without building the intermediate lists. *)
+    let bounds = ab_row v in
+    let best = ref (-1) in
+    let best_bound = ref max_int in
+    for p = 0 to np - 1 do
+      let b = bounds.(p) in
+      if b < !best_bound && b < !cs
+         && Schedule.is_free !sched ~pe:p ~cb:!cs
+              ~span:(Schedule.duration !sched ~node:v ~pe:p)
+      then begin
+        best := p;
+        best_bound := b
+      end
+    done;
+    if Obs.Journal.enabled () then
+      journal_decision dfg comm !sched priority ~cs:!cs ~np v bounds !best;
+    if !best < 0 then false (* stays in the ready queue *)
+    else begin
+      sched := Schedule.assign !sched ~node:v ~cb:!cs ~pe:!best;
+      decr unscheduled;
+      decr free_pes;
+      placed_any := true;
+      let release (e : Csdfg.attr G.edge) =
+        let w = e.G.dst in
+        ab_cache.(w) <- [||];
+        remaining_preds.(w) <- remaining_preds.(w) - 1;
+        promote w
+      in
+      List.iter release (G.succ dag v);
+      true
+    end
+  in
+  (* Merge of the two class sequences in descending current score, ties
+     on ascending id: an affine element [(k, v)] scores [-k - cs] at the
+     step being filled, a constant one [-k].  Placed nodes leave their
+     set; both sequences are snapshots, and mid-step promotions only
+     touch [pending], so the traversal is not invalidated. *)
+  let rec scan aff cst =
+    if !free_pes <= 0 && not (Obs.Journal.enabled ()) then ()
+    else
+      match (aff, cst) with
+      | Seq.Nil, Seq.Nil -> ()
+      | Seq.Cons (((_, v) as e), tl), Seq.Nil ->
+          if probe v then ready_aff := Rset.remove e !ready_aff;
+          scan (tl ()) Seq.Nil
+      | Seq.Nil, Seq.Cons (((_, v) as e), tl) ->
+          if probe v then ready_const := Rset.remove e !ready_const;
+          scan Seq.Nil (tl ())
+      | Seq.Cons (((ka, va) as ea), ta), Seq.Cons (((kc, vc) as ec), tc) ->
+          let sa = -ka - !cs and sc = -kc in
+          if sa > sc || (sa = sc && va < vc) then begin
+            if probe va then ready_aff := Rset.remove ea !ready_aff;
+            scan (ta ()) cst
+          end
+          else begin
+            if probe vc then ready_const := Rset.remove ec !ready_const;
+            scan aff (tc ())
+          end
+  in
   while !unscheduled > 0 do
     if !cs > fuel then
       invalid_arg "Startup.run: scheduling did not converge (internal error)";
     Obs.Counters.incr c_steps;
-    ready := List.rev_append !pending !ready;
+    List.iter
+      (fun v ->
+        match Priority.sort_key priority_strategy priority !sched v with
+        | Priority.Affine k -> ready_aff := Rset.add (-k, v) !ready_aff
+        | Priority.Const k -> ready_const := Rset.add (-k, v) !ready_const)
+      !pending;
     pending := [];
-    let order =
-      match !ready with
-      | [] | [ _ ] -> !ready (* sorting a singleton cannot reorder it *)
-      | l ->
-          Priority.sort_ready ~strategy:priority_strategy priority !sched
-            ~cs:!cs l
-    in
-    let placed_any = ref false in
-    let place v =
-      (* Best feasible processor: smallest (arrival bound, id) — the same
-         order [List.sort compare] gave the (bound, pe) candidate pairs,
-         computed without building the intermediate lists. *)
-      let bounds = ab_row v in
-      let best = ref (-1) in
-      let best_bound = ref max_int in
-      for p = 0 to np - 1 do
-        let b = bounds.(p) in
-        if b < !best_bound && b < !cs
-           && Schedule.is_free !sched ~pe:p ~cb:!cs
-                ~span:(Schedule.duration !sched ~node:v ~pe:p)
-        then begin
-          best := p;
-          best_bound := b
-        end
-      done;
-      if Obs.Journal.enabled () then
-        journal_decision dfg comm !sched priority ~cs:!cs ~np v bounds !best;
-      if !best < 0 then true (* keep in ready list *)
-      else begin
-        sched := Schedule.assign !sched ~node:v ~cb:!cs ~pe:!best;
-        decr unscheduled;
-        placed_any := true;
-        let release (e : Csdfg.attr G.edge) =
-          let w = e.G.dst in
-          ab_cache.(w) <- [||];
-          remaining_preds.(w) <- remaining_preds.(w) - 1;
-          promote w
-        in
-        List.iter release (G.succ dag v);
-        false
-      end
-    in
-    ready := List.filter place order;
-    (* Event-driven sweep: when the step changed nothing (no placement and
-       no newly ready nodes), the schedule is frozen, so every ready
-       node's feasibility at a future step [s] depends on [s] alone.  Jump
-       straight to the earliest step at which any (node, PE) pair becomes
-       feasible — every skipped step would have placed nothing. *)
-    if !placed_any || !pending <> [] then incr cs
+    free_pes := 0;
+    let next_free = ref max_int in
+    for p = 0 to np - 1 do
+      match Schedule.node_at !sched ~pe:p ~cs:!cs with
+      | None -> incr free_pes
+      | Some h -> next_free := min !next_free (Schedule.ce !sched h + 1)
+    done;
+    if !free_pes = 0 && not (Obs.Journal.enabled ()) then begin
+      (* Every processor is running something through this step; no
+         probe can succeed before the first of them frees, so land
+         there directly.  (If nothing places then either, the ordinary
+         event-driven jump below takes over from that step.) *)
+      if !next_free > !cs + 1 then
+        Obs.Counters.incr c_steps_skipped ~by:(!next_free - !cs - 1);
+      cs := !next_free
+    end
     else begin
-      let next = ref max_int in
-      List.iter
-        (fun v ->
+      placed_any := false;
+      scan (Rset.to_seq !ready_aff ()) (Rset.to_seq !ready_const ());
+      (* Event-driven sweep: when the step changed nothing (no placement
+         and no newly ready nodes), the schedule is frozen, so every
+         ready node's feasibility at a future step [s] depends on [s]
+         alone.  Jump straight to the earliest step at which any
+         (node, PE) pair becomes feasible — every skipped step would
+         have placed nothing. *)
+      if !placed_any || !pending <> [] then incr cs
+      else begin
+        let next = ref max_int in
+        let consider v =
           let bounds = ab_row v in
           for p = 0 to np - 1 do
             let span = Schedule.duration !sched ~node:v ~pe:p in
             let from = max (bounds.(p) + 1) (!cs + 1) in
             let s = Schedule.first_free_slot !sched ~pe:p ~from ~span in
             if s < !next then next := s
-          done)
-        !ready;
-      if !next <> max_int && !next > !cs + 1 then
-        Obs.Counters.incr c_steps_skipped ~by:(!next - !cs - 1);
-      cs := if !next = max_int then !cs + 1 else !next
+          done
+        in
+        Rset.iter (fun (_, v) -> consider v) !ready_aff;
+        Rset.iter (fun (_, v) -> consider v) !ready_const;
+        if !next <> max_int && !next > !cs + 1 then
+          Obs.Counters.incr c_steps_skipped ~by:(!next - !cs - 1);
+        cs := if !next = max_int then !cs + 1 else !next
+      end
     end
   done;
   let sched = !sched in

@@ -97,86 +97,127 @@ let drops evs =
 (* JSONL                                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* One whole line rendered straight into the shared buffer — digits via
+   Obs.Json.Writer, no intermediate sprintf strings.  A scale-tier run
+   dumps 10^5+ events, so per-event allocation here is the dump's hot
+   path. *)
+
 let add_line buf ev =
+  let w = Buffer.add_string buf in
+  let fi k v =
+    Buffer.add_char buf ',';
+    Obs.Json.Writer.add_field_int buf k v
+  in
   (match ev with
   | Instance_start { t; node; iter; pe } ->
-      Buffer.add_string buf
-        (Printf.sprintf
-           {|{"ev":"instance_start","t":%d,"node":%d,"iter":%d,"pe":%d}|} t
-           node iter pe)
+      w {|{"ev":"instance_start"|};
+      fi "t" t;
+      fi "node" node;
+      fi "iter" iter;
+      fi "pe" pe
   | Instance_finish { t; node; iter; pe } ->
-      Buffer.add_string buf
-        (Printf.sprintf
-           {|{"ev":"instance_finish","t":%d,"node":%d,"iter":%d,"pe":%d}|} t
-           node iter pe)
+      w {|{"ev":"instance_finish"|};
+      fi "t" t;
+      fi "node" node;
+      fi "iter" iter;
+      fi "pe" pe
   | Msg_send { t; msg; src; dst; src_iter; dst_iter; from_pe; to_pe; volume }
     ->
-      Buffer.add_string buf
-        (Printf.sprintf
-           {|{"ev":"msg_send","t":%d,"msg":%d,"src":%d,"dst":%d,"src_iter":%d,"dst_iter":%d,"from_pe":%d,"to_pe":%d,"volume":%d}|}
-           t msg src dst src_iter dst_iter from_pe to_pe volume)
+      w {|{"ev":"msg_send"|};
+      fi "t" t;
+      fi "msg" msg;
+      fi "src" src;
+      fi "dst" dst;
+      fi "src_iter" src_iter;
+      fi "dst_iter" dst_iter;
+      fi "from_pe" from_pe;
+      fi "to_pe" to_pe;
+      fi "volume" volume
   | Msg_hop { t; msg; link = a, b; busy } ->
-      Buffer.add_string buf
-        (Printf.sprintf
-           {|{"ev":"msg_hop","t":%d,"msg":%d,"a":%d,"b":%d,"busy":%d}|} t msg
-           a b busy)
+      w {|{"ev":"msg_hop"|};
+      fi "t" t;
+      fi "msg" msg;
+      fi "a" a;
+      fi "b" b;
+      fi "busy" busy
   | Msg_deliver { t; msg; node; iter; latency } ->
-      Buffer.add_string buf
-        (Printf.sprintf
-           {|{"ev":"msg_deliver","t":%d,"msg":%d,"node":%d,"iter":%d,"latency":%d}|}
-           t msg node iter latency)
-  | Stall { t; node; iter; pe; wait; cause } ->
-      let cause_fields =
-        match cause with
-        | Input_wait { src; dst; msg } ->
-            Printf.sprintf {|"cause":"input_wait","src":%d,"dst":%d,"msg":%d|}
-              src dst msg
-        | Link_busy { link = a, b; msg } ->
-            Printf.sprintf {|"cause":"link_busy","a":%d,"b":%d,"msg":%d|} a b
-              msg
-        | Pe_busy -> {|"cause":"pe_busy"|}
-        | Link_down { link = a, b; msg } ->
-            Printf.sprintf {|"cause":"link_down","a":%d,"b":%d,"msg":%d|} a b
-              msg
-      in
-      Buffer.add_string buf
-        (Printf.sprintf
-           {|{"ev":"stall","t":%d,"node":%d,"iter":%d,"pe":%d,"wait":%d,%s}|}
-           t node iter pe wait cause_fields)
+      w {|{"ev":"msg_deliver"|};
+      fi "t" t;
+      fi "msg" msg;
+      fi "node" node;
+      fi "iter" iter;
+      fi "latency" latency
+  | Stall { t; node; iter; pe; wait; cause } -> (
+      w {|{"ev":"stall"|};
+      fi "t" t;
+      fi "node" node;
+      fi "iter" iter;
+      fi "pe" pe;
+      fi "wait" wait;
+      match cause with
+      | Input_wait { src; dst; msg } ->
+          w {|,"cause":"input_wait"|};
+          fi "src" src;
+          fi "dst" dst;
+          fi "msg" msg
+      | Link_busy { link = a, b; msg } ->
+          w {|,"cause":"link_busy"|};
+          fi "a" a;
+          fi "b" b;
+          fi "msg" msg
+      | Pe_busy -> w {|,"cause":"pe_busy"|}
+      | Link_down { link = a, b; msg } ->
+          w {|,"cause":"link_down"|};
+          fi "a" a;
+          fi "b" b;
+          fi "msg" msg)
   | Msg_retry { t; msg; link = a, b; attempt; backoff } ->
-      Buffer.add_string buf
-        (Printf.sprintf
-           {|{"ev":"msg_retry","t":%d,"msg":%d,"a":%d,"b":%d,"attempt":%d,"backoff":%d}|}
-           t msg a b attempt backoff)
+      w {|{"ev":"msg_retry"|};
+      fi "t" t;
+      fi "msg" msg;
+      fi "a" a;
+      fi "b" b;
+      fi "attempt" attempt;
+      fi "backoff" backoff
   | Msg_dropped { t; msg; link = a, b; attempts } ->
-      Buffer.add_string buf
-        (Printf.sprintf
-           {|{"ev":"msg_dropped","t":%d,"msg":%d,"a":%d,"b":%d,"attempts":%d}|}
-           t msg a b attempts)
+      w {|{"ev":"msg_dropped"|};
+      fi "t" t;
+      fi "msg" msg;
+      fi "a" a;
+      fi "b" b;
+      fi "attempts" attempts
   | Pe_fail { t; pe } ->
-      Buffer.add_string buf
-        (Printf.sprintf {|{"ev":"pe_fail","t":%d,"pe":%d}|} t pe)
+      w {|{"ev":"pe_fail"|};
+      fi "t" t;
+      fi "pe" pe
   | Link_fail { t; link = a, b; until } ->
-      Buffer.add_string buf
-        (Printf.sprintf {|{"ev":"link_fail","t":%d,"a":%d,"b":%d,"until":%d}|}
-           t a b
-           (Option.value ~default:(-1) until))
+      w {|{"ev":"link_fail"|};
+      fi "t" t;
+      fi "a" a;
+      fi "b" b;
+      fi "until" (Option.value ~default:(-1) until)
   | Degraded { t; survivors; moved; migration_cost; length } ->
-      Buffer.add_string buf
-        (Printf.sprintf
-           {|{"ev":"degraded","t":%d,"survivors":[%s],"moved":%d,"migration_cost":%d,"length":%d}|}
-           t
-           (String.concat "," (List.map string_of_int survivors))
-           moved migration_cost length));
+      w {|{"ev":"degraded"|};
+      fi "t" t;
+      w {|,"survivors":[|};
+      List.iteri
+        (fun i p ->
+          if i > 0 then Buffer.add_char buf ',';
+          Obs.Json.Writer.add_int buf p)
+        survivors;
+      Buffer.add_char buf ']';
+      fi "moved" moved;
+      fi "migration_cost" migration_cost;
+      fi "length" length);
+  Buffer.add_char buf '}';
   Buffer.add_char buf '\n'
 
 let to_jsonl evs =
   let evs = by_time evs in
   let buf = Buffer.create (4096 + (64 * List.length evs)) in
-  Buffer.add_string buf
-    (Printf.sprintf
-       {|{"schema":"ccsched-sim-events/2","events":%d}|}
-       (List.length evs));
+  Buffer.add_string buf {|{"schema":"ccsched-sim-events/2","events":|};
+  Obs.Json.Writer.add_int buf (List.length evs);
+  Buffer.add_char buf '}';
   Buffer.add_char buf '\n';
   List.iter (add_line buf) evs;
   Buffer.contents buf

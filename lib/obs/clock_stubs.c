@@ -12,3 +12,16 @@ CAMLprim value obs_clock_monotonic_ns(value unit)
   clock_gettime(CLOCK_MONOTONIC, &ts);
   return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + ts.tv_nsec);
 }
+
+/* Page size for Obs.Resource: /proc/self/statm reports RSS in pages
+   and lib/obs deliberately has no unix dependency, so the conversion
+   factor comes from a stub rather than Unix.sysconf. */
+
+#include <unistd.h>
+
+CAMLprim value obs_page_size(value unit)
+{
+  long sz = sysconf(_SC_PAGESIZE);
+  if (sz <= 0) sz = 4096;
+  return Val_long(sz);
+}

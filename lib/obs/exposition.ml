@@ -83,6 +83,10 @@ let render_of ~counters ~histograms () =
   Buffer.contents b
 
 let render () =
+  (* Memory moves between scrapes without anyone calling [set]; fold a
+     fresh process sample into the registry so every exposition carries
+     live process.*/gc.* values (a no-op while counters are off). *)
+  Resource.refresh_process_gauges ();
   render_of ~counters:(Counters.snapshot ())
     ~histograms:(Histogram.snapshot ()) ()
 

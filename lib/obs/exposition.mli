@@ -42,7 +42,10 @@ val metric_name : string -> string
 val render : unit -> string
 (** Render one consistent snapshot of both registries.  Counters and
     gauges first, then histograms, each group sorted by name; values
-    are the registry's integers verbatim. *)
+    are the registry's integers verbatim.  Calls
+    {!Resource.refresh_process_gauges} first, so every scrape carries
+    live [ccsched_process_*]/[ccsched_gc_*] memory samples while the
+    counter registry is enabled. *)
 
 val render_of :
   counters:(string * Counters.kind * int) list ->

@@ -104,3 +104,10 @@ val pp_binding : ?label:(int -> string) -> Format.formatter -> binding -> unit
 val pp_event : ?label:(int -> string) -> Format.formatter -> event -> unit
 (** One-line rendering; [label] maps node ids to names (default
     ["n<id>"]). *)
+
+val to_jsonl : event list -> string
+(** The events as NDJSON: a [{"schema":"ccsched-journal/1","events":N}]
+    header line, then one object per event in the given order
+    ([{"ev":"candidate",...}], [{"ev":"placed",...}], ...), node and
+    processor ids as dense integers exactly as recorded.  Rendered into
+    a single buffer — one flush per line, not one write per field. *)

@@ -195,3 +195,78 @@ let to_int = function
 let to_str = function Str s -> Some s | _ -> None
 let to_list = function Arr l -> Some l | _ -> None
 let to_obj = function Obj m -> Some m | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Writer = struct
+  let escape_slow b s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s
+
+  let add_escaped b s =
+    let n = String.length s in
+    let rec clean i =
+      i >= n
+      ||
+      match String.unsafe_get s i with
+      | '"' | '\\' -> false
+      | c when Char.code c < 0x20 -> false
+      | _ -> clean (i + 1)
+    in
+    if clean 0 then Buffer.add_string b s else escape_slow b s
+
+  let add_int b n =
+    if n < 0 then begin
+      Buffer.add_char b '-';
+      (* digits computed in negative space so min_int needs no special
+         case *)
+      let rec go n =
+        if n <= -10 then go (n / 10);
+        Buffer.add_char b (Char.unsafe_chr (Char.code '0' - (n mod 10)))
+      in
+      go n
+    end
+    else
+      let rec go n =
+        if n >= 10 then go (n / 10);
+        Buffer.add_char b (Char.unsafe_chr (Char.code '0' + (n mod 10)))
+      in
+      go n
+
+  let add_float b x =
+    if Float.is_integer x && Float.abs x < 1e15 then begin
+      (* trailing ".0"-free integers keep the emitters byte-compatible
+         with the previous %d-based formatting *)
+      add_int b (int_of_float x)
+    end
+    else Buffer.add_string b (Printf.sprintf "%.17g" x)
+
+  let add_str b s =
+    Buffer.add_char b '"';
+    add_escaped b s;
+    Buffer.add_char b '"'
+
+  let add_key b k =
+    add_str b k;
+    Buffer.add_char b ':'
+
+  let add_field_int b k n =
+    add_key b k;
+    add_int b n
+
+  let add_field_str b k s =
+    add_key b k;
+    add_str b s
+end

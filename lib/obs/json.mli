@@ -31,3 +31,39 @@ val to_int : t -> int option
 val to_str : t -> string option
 val to_list : t -> t list option
 val to_obj : t -> (string * t) list option
+
+(** {2 Buffered writing}
+
+    The emitting half: tiny [Buffer] combinators shared by every JSONL
+    exporter in the tree ({!Log} lines, simulator event dumps, journal
+    dumps, bench snapshots).  The point is the discipline they make
+    easy — render a whole line into one [Buffer] and flush it with a
+    single write — rather than per-field [Printf] round-trips, which
+    thrash on 10{^5}-event scale-tier dumps.  [add_int] writes digits
+    directly (no [string_of_int] allocation); [add_escaped] only takes
+    the escaping slow path when a first scan finds a byte that needs
+    it. *)
+
+module Writer : sig
+  val add_int : Buffer.t -> int -> unit
+  (** Decimal rendering straight into the buffer; handles [min_int]. *)
+
+  val add_float : Buffer.t -> float -> unit
+  (** Integral values (within 2{^53}) print without a decimal point,
+      everything else as [%.17g] (round-trip precision). *)
+
+  val add_escaped : Buffer.t -> string -> unit
+  (** String contents with JSON escapes, no surrounding quotes. *)
+
+  val add_str : Buffer.t -> string -> unit
+  (** ["..."] — quoted, escaped. *)
+
+  val add_key : Buffer.t -> string -> unit
+  (** ["...":] — a quoted key and its colon. *)
+
+  val add_field_int : Buffer.t -> string -> int -> unit
+  (** ["k":v] for an int field (no separating comma). *)
+
+  val add_field_str : Buffer.t -> string -> string -> unit
+  (** ["k":"v"] for a string field (no separating comma). *)
+end

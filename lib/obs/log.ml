@@ -44,53 +44,13 @@ let enable ?(level = Info) write =
 let disable () = Atomic.set enabled_flag false
 
 (* Rendering is on the hot request path whenever logging is on, and the
-   bench gate holds it to <= 5% of a cache hit, so the two inner loops
-   below avoid the stdlib's format machinery: almost no logged string
-   needs escaping (one pass decides), and digits go straight into the
-   buffer instead of through string_of_int. *)
+   bench gate holds it to <= 5% of a cache hit, so the inner loops live
+   in Json.Writer (shared with every other JSONL exporter): almost no
+   logged string needs escaping (one pass decides), and digits go
+   straight into the buffer instead of through string_of_int. *)
 
-let escape_slow b s =
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s
-
-let add_escaped b s =
-  let n = String.length s in
-  let rec clean i =
-    i >= n
-    ||
-    match String.unsafe_get s i with
-    | '"' | '\\' -> false
-    | c when Char.code c < 0x20 -> false
-    | _ -> clean (i + 1)
-  in
-  if clean 0 then Buffer.add_string b s else escape_slow b s
-
-let add_int b n =
-  if n < 0 then begin
-    Buffer.add_char b '-';
-    (* digits computed in negative space so min_int needs no special case *)
-    let rec go n =
-      if n <= -10 then go (n / 10);
-      Buffer.add_char b (Char.unsafe_chr (Char.code '0' - (n mod 10)))
-    in
-    go n
-  end
-  else
-    let rec go n =
-      if n >= 10 then go (n / 10);
-      Buffer.add_char b (Char.unsafe_chr (Char.code '0' + (n mod 10)))
-    in
-    go n
+let add_escaped = Json.Writer.add_escaped
+let add_int = Json.Writer.add_int
 
 let render ~ts_ns ~level ~event ?request_id ?session ?duration_ns ?(kv = [])
     () =

@@ -77,8 +77,20 @@ let enable () =
 
 let disable () = Atomic.set enabled_flag false
 
+(* Per-span resource attribution (Obs.Resource) is layered on through
+   this hook rather than a direct call so the dependency points the
+   right way: Resource builds on Trace's span names, not vice versa.
+   Resource installs its wrapper at module-init time; until then the
+   identity wrapper runs.  The installed wrapper owns its own
+   one-atomic-load-when-off discipline, so a probe with both subsystems
+   disabled costs two flag loads and zero allocation. *)
+type resource_wrapper = { wrap : 'a. string -> (unit -> 'a) -> 'a }
+
+let resource_wrapper = ref { wrap = (fun _name f -> f ()) }
+let set_resource_wrapper w = resource_wrapper := w
+
 let with_span ?(args = []) name f =
-  if not (Atomic.get enabled_flag) then f ()
+  if not (Atomic.get enabled_flag) then (!resource_wrapper).wrap name f
   else begin
     let s = stream () in
     let seq = s.next_seq in
@@ -103,7 +115,7 @@ let with_span ?(args = []) name f =
             :: s.closed
       | _ -> ()  (* collection was reset mid-span: drop it *)
     in
-    Fun.protect ~finally:close f
+    Fun.protect ~finally:close (fun () -> (!resource_wrapper).wrap name f)
   end
 
 let spans () =
@@ -157,7 +169,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let to_chrome_json ?(counters = []) ?(histograms = []) () =
+let to_chrome_json ?(counters = []) ?(histograms = []) ?resources () =
   let b = Buffer.create 4096 in
   Buffer.add_string b "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
   List.iteri
@@ -207,5 +219,10 @@ let to_chrome_json ?(counters = []) ?(histograms = []) () =
       histograms;
     Buffer.add_string b "\n  }"
   end;
+  (match resources with
+  | Some json when json <> "" ->
+      Buffer.add_string b ",\n  \"resources\": ";
+      Buffer.add_string b json
+  | _ -> ());
   Buffer.add_string b "\n}\n";
   Buffer.contents b

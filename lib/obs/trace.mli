@@ -54,7 +54,23 @@ val reset : unit -> unit
 val with_span : ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
 (** [with_span name f] runs [f ()] inside a span called [name].  The
     span is closed (and recorded) even when [f] raises.  When tracing is
-    disabled this is exactly [f ()] after one atomic load. *)
+    disabled this is exactly [f ()] after one atomic load (plus the
+    {!set_resource_wrapper} hook, itself one load when resource
+    collection is off). *)
+
+(** {2 Resource attribution hook}
+
+    {!Resource} layers per-span GC/allocation attribution onto the same
+    probes without Trace depending on it: at module-init time Resource
+    installs a wrapper that runs [f] inside a resource span of the same
+    name.  The wrapper runs whether or not wall-clock tracing is enabled
+    (the two subsystems toggle independently) and must keep the
+    one-atomic-load-when-off discipline.  Not intended for use outside
+    [Obs]. *)
+
+type resource_wrapper = { wrap : 'a. string -> (unit -> 'a) -> 'a }
+
+val set_resource_wrapper : resource_wrapper -> unit
 
 val spans : unit -> span list
 (** Every closed span of the current collection, merged across domains
@@ -73,6 +89,7 @@ val pp_summary : Format.formatter -> unit -> unit
 val to_chrome_json :
   ?counters:(string * int) list ->
   ?histograms:(string * (int * int) list) list ->
+  ?resources:string ->
   unit ->
   string
 (** The current collection as Chrome [trace_event] JSON (object format),
@@ -82,4 +99,6 @@ val to_chrome_json :
     [counters] (e.g. {!Counters.dump}) is embedded as a top-level
     ["counters"] object and [histograms] (e.g. {!Histogram.dump}, as
     [(upper_bound, count)] bucket lists) as a top-level ["histograms"]
-    object — trace viewers ignore both, scripts can read them back. *)
+    object — trace viewers ignore both, scripts can read them back.
+    [resources] (a pre-rendered JSON object, {!Resource.rollup_json})
+    is embedded the same way under a top-level ["resources"] key. *)

@@ -90,6 +90,7 @@ let set_load t ~queue_depth ~active_clients =
 
 let health t =
   let resolved = t.hits + t.misses in
+  let m = Obs.Resource.sample_process () in
   {
     P.build = build_id;
     uptime_ns = int_of_float ((Unix.gettimeofday () -. t.created) *. 1e9);
@@ -102,6 +103,11 @@ let health t =
     queue_depth = t.queue_depth;
     active_clients = t.active_clients;
     last_replan = t.last_replan;
+    rss_bytes = m.Obs.Resource.rss_bytes;
+    peak_rss_bytes = m.Obs.Resource.peak_rss_bytes;
+    heap_words = m.Obs.Resource.heap_words;
+    gc_minor_collections = m.Obs.Resource.p_minor_collections;
+    gc_major_collections = m.Obs.Resource.p_major_collections;
   }
 
 let record_hit t =

@@ -61,6 +61,13 @@ type health = {
   queue_depth : int;
   active_clients : int;
   last_replan : string;
+  (* memory/GC gauges (ccsched-rpc/1 additive extension: absent fields
+     parse as zero, so old clients and old daemons interoperate) *)
+  rss_bytes : int;
+  peak_rss_bytes : int;
+  heap_words : int;
+  gc_minor_collections : int;
+  gc_major_collections : int;
 }
 
 let exposition_content_type = "text/plain; version=0.0.4"
@@ -384,10 +391,14 @@ let reply_to_json = function
         "{\"rpc\":\"%s\",\"id\":%d,\"ok\":true,\"op\":\"health\",\"health\":\
          {\"build\":\"%s\",\"uptime_ns\":%d,\"requests\":%d,\
          \"hit_rate\":%.4f,\"cache_entries\":%d,\"cache_capacity\":%d,\
-         \"queue_depth\":%d,\"active_clients\":%d,\"last_replan\":\"%s\"}}"
+         \"queue_depth\":%d,\"active_clients\":%d,\"last_replan\":\"%s\",\
+         \"rss_bytes\":%d,\"peak_rss_bytes\":%d,\"heap_words\":%d,\
+         \"gc_minor_collections\":%d,\"gc_major_collections\":%d}}"
         version id (json_escape h.build) h.uptime_ns h.rpc_requests h.hit_rate
         h.cache_entries h.cache_capacity h.queue_depth h.active_clients
         (json_escape h.last_replan)
+        h.rss_bytes h.peak_rss_bytes h.heap_words h.gc_minor_collections
+        h.gc_major_collections
   | Shutdown_ack { id } ->
       Printf.sprintf
         "{\"rpc\":\"%s\",\"id\":%d,\"ok\":true,\"op\":\"shutdown\"}" version
@@ -548,6 +559,11 @@ let parse_reply line =
                      queue_depth = hint "queue_depth";
                      active_clients = hint "active_clients";
                      last_replan = hstr "last_replan";
+                     rss_bytes = hint "rss_bytes";
+                     peak_rss_bytes = hint "peak_rss_bytes";
+                     heap_words = hint "heap_words";
+                     gc_minor_collections = hint "gc_minor_collections";
+                     gc_major_collections = hint "gc_major_collections";
                    };
                })
       | "shutdown" -> Ok (Shutdown_ack { id })

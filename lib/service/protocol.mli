@@ -68,6 +68,13 @@ type health = {
   active_clients : int;
   last_replan : string;
       (** ["none"], ["patched"], ["rebuilt"] or ["failed"] *)
+  rss_bytes : int;  (** daemon resident set size, bytes *)
+  peak_rss_bytes : int;  (** resident high-water mark, bytes *)
+  heap_words : int;  (** OCaml major heap, words *)
+  gc_minor_collections : int;  (** cumulative; rates come from deltas *)
+  gc_major_collections : int;
+      (** All five are additive ccsched-rpc/1 extensions: absent in a
+          reply from an older daemon, they parse as [0]. *)
 }
 
 val exposition_content_type : string

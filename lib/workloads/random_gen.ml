@@ -57,3 +57,64 @@ let generate_with ~connect ?(params = default) ~seed () =
 
 let generate ?params ~seed () = generate_with ~connect:false ?params ~seed ()
 let generate_connected ?params ~seed () = generate_with ~connect:true ?params ~seed ()
+
+(* Scale tier: a layered DAG built in O(nodes * fan_in).  The classic
+   generator above fills in edges with an O(nodes^2) pairwise sweep —
+   fine at qcheck sizes, hopeless at 10^5 nodes — so the scale
+   generator bounds each node's zero-delay parents to a handful drawn
+   from the immediately preceding layer only.  That shape is also the
+   honest one for the scale tier: production-size loop bodies are wide
+   and layered (stencils, unrolled pipelines), not dense random
+   digraphs. *)
+
+let layered ?(fan_in = 3) ?(width = 0) ?(feedback_edges = 8) ?(max_time = 3)
+    ?(max_volume = 3) ?(max_delay = 3) ~nodes:n ~seed () =
+  if n < 1 then invalid_arg "Random_gen.layered: need at least one node";
+  if fan_in < 1 then invalid_arg "Random_gen.layered: need fan_in >= 1";
+  let rng = Random.State.make [| seed; n; fan_in |] in
+  let int_in lo hi = lo + Random.State.int rng (hi - lo + 1) in
+  let width =
+    if width > 0 then width
+    else max 1 (int_of_float (Float.round (sqrt (float_of_int n))))
+  in
+  let nodes_l = List.init n (fun i -> (label i, int_in 1 (max 1 max_time))) in
+  let volume () = int_in 1 (max 1 max_volume) in
+  let edges = ref [] in
+  (* Every node after the first layer draws 1..fan_in distinct parents
+     from the previous layer, so the DAG is connected upward and node
+     in-degree — hence total work — stays linear in [n]. *)
+  for v = width to n - 1 do
+    let layer_start = v - (v mod width) in
+    let prev_start = layer_start - width in
+    let prev_width = min width (layer_start - prev_start) in
+    let k = min prev_width (int_in 1 fan_in) in
+    let chosen = Array.make k (-1) in
+    let picked = ref 0 in
+    while !picked < k do
+      let u = prev_start + Random.State.int rng prev_width in
+      let dup = ref false in
+      for i = 0 to !picked - 1 do
+        if chosen.(i) = u then dup := true
+      done;
+      if not !dup then begin
+        chosen.(!picked) <- u;
+        incr picked
+      end
+    done;
+    for i = 0 to k - 1 do
+      edges := (label chosen.(i), label v, 0, volume ()) :: !edges
+    done
+  done;
+  (* Backward, delay-carrying edges make the workload cyclic the same
+     way the paper's loop bodies are; delays keep every cycle legal. *)
+  for _ = 1 to feedback_edges do
+    if n >= 2 then begin
+      let v = int_in 1 (n - 1) in
+      let u = Random.State.int rng v in
+      edges :=
+        (label v, label u, int_in 1 (max 1 max_delay), volume ()) :: !edges
+    end
+  done;
+  Dataflow.Csdfg.make
+    ~name:(Printf.sprintf "layered-%d-%d" n seed)
+    ~nodes:nodes_l ~edges:(List.rev !edges)

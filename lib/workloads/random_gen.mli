@@ -23,3 +23,23 @@ val generate : ?params:params -> seed:int -> unit -> Dataflow.Csdfg.t
 val generate_connected : ?params:params -> seed:int -> unit -> Dataflow.Csdfg.t
 (** Like {!generate} but guarantees a single weakly-connected component
     (isolated prefixes are chained together). *)
+
+val layered :
+  ?fan_in:int ->
+  ?width:int ->
+  ?feedback_edges:int ->
+  ?max_time:int ->
+  ?max_volume:int ->
+  ?max_delay:int ->
+  nodes:int ->
+  seed:int ->
+  unit ->
+  Dataflow.Csdfg.t
+(** Scale-tier generator: a layered DAG of [nodes] nodes built in
+    O([nodes] * [fan_in]) — each node past the first layer draws
+    [1..fan_in] distinct zero-delay parents from the immediately
+    preceding layer (default layer [width]: ⌈√nodes⌉), plus
+    [feedback_edges] backward delay-carrying edges so the loop is
+    cyclic and always legal.  Seed-deterministic like {!generate};
+    unlike it, usable at 10{^5}–10{^6} nodes.  The graph is named
+    [layered-<nodes>-<seed>]. *)

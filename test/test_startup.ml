@@ -80,6 +80,44 @@ let test_pf_root_is_negative_mobility () =
   let s = Schedule.empty fig1b (Comm.of_topology (paper_mesh ())) in
   check "root A" 0 (Priority.pf pr s ~cs:1 (node fig1b "A"))
 
+(* The sweep keeps its ready queue sorted by Priority.sort_key instead
+   of re-sorting with sort_ready every control step; the two must induce
+   the same order for every strategy, schedule state and step. *)
+let test_sort_key_matches_sort_ready =
+  QCheck.Test.make ~count:100 ~name:"sort_key order = sort_ready order"
+    QCheck.(triple (0 -- 49) (1 -- 30) (0 -- 100))
+    (fun (seed, cs, keep) ->
+      let g = Workloads.Random_gen.generate ~seed () in
+      let full = Startup.run_on g (Topology.linear_array 3) in
+      (* unassign a suffix so ready nodes see a mix of assigned and
+         unassigned zero-delay predecessors *)
+      let nodes = Csdfg.nodes g in
+      let cut = keep mod (List.length nodes + 1) in
+      let s =
+        Schedule.unassign_all full
+          (List.filteri (fun i _ -> i >= cut) nodes)
+      in
+      let pr = Priority.create g in
+      let ready = List.filter (fun v -> not (Schedule.is_assigned s v)) nodes in
+      List.for_all
+        (fun strategy ->
+          let score v =
+            match Priority.sort_key strategy pr s v with
+            | Priority.Affine k -> k - cs
+            | Priority.Const k -> k
+          in
+          let keyed =
+            List.stable_sort
+              (fun a b ->
+                match compare (score b) (score a) with
+                | 0 -> compare a b
+                | c -> c)
+              ready
+          in
+          keyed = Priority.sort_ready ~strategy pr s ~cs ready)
+        [ Priority.Pf; Priority.Static_level; Priority.Mobility_only;
+          Priority.Fifo ])
+
 (* ------------------------------------------------------------------ *)
 (* Behaviour across communication regimes                               *)
 (* ------------------------------------------------------------------ *)
@@ -200,6 +238,7 @@ let () =
           Alcotest.test_case "critical first" `Quick test_pf_prefers_critical_node;
           Alcotest.test_case "decays over time" `Quick test_pf_rises_with_waiting_time;
           Alcotest.test_case "root" `Quick test_pf_root_is_negative_mobility;
+          QCheck_alcotest.to_alcotest test_sort_key_matches_sort_ready;
         ] );
       ( "behaviour",
         [

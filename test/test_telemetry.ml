@@ -194,7 +194,24 @@ let test_delta_view () =
   let d2 = E.delta ~prev:cur prev in
   Alcotest.(check (option (float 0.)))
     "reset clamps to zero" (Some 0.)
-    (E.value d2 "ccsched_service_cache_hits")
+    (E.value d2 "ccsched_service_cache_hits");
+  (* ... histograms clamp the same way, and the clamped result is
+     still a well-formed cumulative vector ... *)
+  (match E.find d2 "ccsched_service_request_latency" with
+  | Some fam ->
+      List.iter
+        (fun s ->
+          Alcotest.(check bool)
+            ("histogram reset clamps " ^ s.E.sample_name)
+            true (s.E.value = 0.))
+        fam.E.fam_samples
+  | None -> Alcotest.fail "latency family missing across the reset");
+  (* ... while gauges are instantaneous readings: a gauge that dropped
+     (an RSS release, a drained queue) passes through as its raw
+     current value instead of being clamped *)
+  Alcotest.(check (option (float 0.)))
+    "falling gauge passes through across the reset" (Some 4.)
+    (E.value d2 "ccsched_service_queue_depth")
 
 (* {2 ccsched-log/1 round-trip} *)
 

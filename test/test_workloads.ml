@@ -210,6 +210,58 @@ let test_random_params_respected () =
     (fun e -> check_bool "delay in range" true (Csdfg.delay e <= 2))
     (Csdfg.edges g)
 
+let test_layered_shape () =
+  let g = Workloads.Random_gen.layered ~nodes:2_000 ~seed:1 () in
+  check "node count" 2_000 (Csdfg.n_nodes g);
+  Alcotest.(check string) "name encodes size and seed" "layered-2000-1"
+    (Csdfg.name g);
+  check_bool "legal" true (Csdfg.is_legal g);
+  check_bool "cyclic (feedback edges present)" true
+    (Digraph.Cycles.has_cycle (Csdfg.graph g));
+  (* every backward edge carries delay — that is what keeps it legal *)
+  List.iter
+    (fun (e : Dataflow.Csdfg.attr Digraph.Graph.edge) ->
+      if e.Digraph.Graph.src >= e.Digraph.Graph.dst then
+        check_bool "feedback edge delayed" true (Csdfg.delay e >= 1)
+      else check "forward edge zero-delay" 0 (Csdfg.delay e))
+    (Csdfg.edges g)
+
+let test_layered_deterministic () =
+  let a = Workloads.Random_gen.layered ~nodes:1_000 ~seed:42 () in
+  let b = Workloads.Random_gen.layered ~nodes:1_000 ~seed:42 () in
+  let c = Workloads.Random_gen.layered ~nodes:1_000 ~seed:43 () in
+  Alcotest.(check string) "same seed, same text" (Dataflow.Io.to_string a)
+    (Dataflow.Io.to_string b);
+  check_bool "different seed, different text" true
+    (Dataflow.Io.to_string a <> Dataflow.Io.to_string c)
+
+let test_layered_linear_degree () =
+  (* the scale generator must stay O(nodes * fan_in): with fan_in f,
+     no node may have more than f zero-delay parents *)
+  let g = Workloads.Random_gen.layered ~fan_in:4 ~nodes:3_000 ~seed:5 () in
+  List.iter
+    (fun v ->
+      let zd =
+        List.filter (fun e -> Csdfg.delay e = 0) (Csdfg.pred g v)
+      in
+      check_bool "fan-in bounded" true (List.length zd <= 4))
+    (Csdfg.nodes g)
+
+let test_layered_schedules () =
+  let g = Workloads.Random_gen.layered ~nodes:500 ~seed:9 () in
+  let s = Cyclo.Startup.run_on g (Topology.linear_array 4) in
+  check_bool "startup schedule is legal" true (Cyclo.Validator.is_legal s)
+
+let test_layered_bad_args () =
+  check_bool "rejects 0 nodes" true
+    (match Workloads.Random_gen.layered ~nodes:0 ~seed:1 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check_bool "rejects fan_in 0" true
+    (match Workloads.Random_gen.layered ~fan_in:0 ~nodes:10 ~seed:1 () with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
 let test_dot_export_workloads () =
   (* Rendering should not raise and should mention every node label. *)
   let g = Workloads.Examples.fig1b in
@@ -269,6 +321,15 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_random_deterministic;
           Alcotest.test_case "connected" `Quick test_random_connected;
           Alcotest.test_case "params" `Quick test_random_params_respected;
+          Alcotest.test_case "layered shape" `Quick test_layered_shape;
+          Alcotest.test_case "layered deterministic" `Quick
+            test_layered_deterministic;
+          Alcotest.test_case "layered fan-in" `Quick
+            test_layered_linear_degree;
+          Alcotest.test_case "layered schedules" `Quick
+            test_layered_schedules;
+          Alcotest.test_case "layered bad args" `Quick
+            test_layered_bad_args;
         ] );
       ( "export",
         [ Alcotest.test_case "dot" `Quick test_dot_export_workloads ] );
