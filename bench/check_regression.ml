@@ -57,6 +57,9 @@ type portfolio = {
 type service = {
   hit_speedup_p50 : float;
   hit_rate : float;
+  warm_speedup : float option;
+      (* miss p50 / warm-restart p50; absent in records predating the
+         warm-restart journal *)
   cells_p50 : (string * float) list;  (* cell name -> p50 ns *)
 }
 
@@ -172,6 +175,10 @@ let validate line json =
           {
             hit_speedup_p50 = field line s "hit_speedup_p50" Obs.Json.to_num;
             hit_rate = field line s "hit_rate" Obs.Json.to_num;
+            warm_speedup =
+              Option.bind
+                (Obs.Json.member "warm_restart_speedup" s)
+                Obs.Json.to_num;
             cells_p50 =
               field line s "cells" Obs.Json.to_list
               |> List.map (fun item ->
@@ -343,7 +350,25 @@ let () =
             (fun name ->
               if not (List.mem_assoc name svc.cells_p50) then
                 fail "service: missing cell %S" name)
-            [ "service_hit"; "service_miss"; "service_replan" ]);
+            [ "service_hit"; "service_miss"; "service_replan" ];
+          (* warm restart: journal replay re-serves cached bytes without
+             recomputing, so restart-to-answer must stay well below a
+             cold miss — an absolute bound like the hit gate above,
+             skipped only for records predating the journal *)
+          (match svc.warm_speedup with
+          | None ->
+              print_endline
+                "no warm-restart record; skipping warm-restart gate"
+          | Some w ->
+              Printf.printf "service warm restart p50 %.1fx below miss p50\n"
+                w;
+              if w < 5.0 then
+                fail
+                  "service: warm restart p50 only %.1fx below miss p50 \
+                   (need >= 5x)"
+                  w;
+              if not (List.mem_assoc "service_warm_restart" svc.cells_p50)
+              then fail "service: missing cell %S" "service_warm_restart"));
       (* telemetry: the logging-off discipline is one atomic load, so
          the logging-on hit path must stay within 5% of logging-off —
          an absolute bound, not a comparison against history, because

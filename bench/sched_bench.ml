@@ -370,6 +370,7 @@ type svc = {
   svc_requests : int;
   svc_hit_rate : float;
   svc_speedup_p50 : float;  (* miss p50 / hit p50 *)
+  svc_warm_speedup_p50 : float;  (* miss p50 / warm-restart p50 *)
 }
 
 let percentile samples p =
@@ -402,7 +403,7 @@ let service_cells ~quick () =
         Service.Server.run
           ~on_ready:(fun () -> Atomic.set ready true)
           {
-            Service.Server.socket_path = path;
+            (Service.Server.default_config ~socket_path:path) with
             capacity = 8192;
             domains = Some 1;
             max_clients = 4;
@@ -462,6 +463,7 @@ let service_cells ~quick () =
               session = sessions.(k mod Array.length sessions);
               fail_pes = [ 2 ];
               fail_links = [];
+              deadline_ms = None;
             }
         in
         [ fst (timed_rpc req); fst (timed_rpc req) ])
@@ -488,15 +490,48 @@ let service_cells ~quick () =
   (match Domain.join srv with
   | Ok () -> ()
   | Error msg -> failwith ("service bench: " ^ msg));
+  (* Warm restart: time from opening a journalled engine to a cached
+     answer (open + replay + hit), versus recomputing the schedule.
+     Journal replay has to beat recompute by a wide margin — that gap
+     is the whole point of `serve --state` — so check_regression gates
+     the ratio. *)
+  let n_warm = if quick then 12 else 60 in
+  let state_dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ccsched-bench-state-%d" (Unix.getpid ()))
+  in
+  let warm_line = Service.Protocol.request_to_json ~id:1 (sched_req 0) in
+  (let e = Service.Engine.create ~capacity:64 ~state_dir () in
+   ignore (Service.Engine.handle_line e warm_line);
+   Service.Engine.close e);
+  let warm_ns =
+    List.init n_warm (fun _ ->
+        let t0 = Obs.Trace.now_ns () in
+        let e = Service.Engine.create ~capacity:64 ~state_dir () in
+        let reply, _ = Service.Engine.handle_line e warm_line in
+        let ns = Obs.Trace.now_ns () - t0 in
+        Service.Engine.close e;
+        (match Service.Protocol.parse_reply reply with
+        | Ok (Service.Protocol.Scheduled { cached = true; _ }) -> ()
+        | _ -> failwith "service bench: warm restart missed the cache");
+        ns)
+  in
+  (try Unix.unlink (Filename.concat state_dir "state.ccsj")
+   with Unix.Unix_error _ -> ());
+  (try Unix.rmdir state_dir with Unix.Unix_error _ -> ());
   let miss = cell "service_miss" miss_ns in
   let hit = cell "service_hit" hit_ns in
   let replan = cell "service_replan" replan_ns in
+  let warm = cell "service_warm_restart" warm_ns in
   {
-    svc_cells = [ hit; miss; replan ];
+    svc_cells = [ hit; miss; replan; warm ];
     svc_requests = requests;
     svc_hit_rate = hit_rate;
     svc_speedup_p50 =
       float_of_int miss.svc_p50_ns /. float_of_int (max 1 hit.svc_p50_ns);
+    svc_warm_speedup_p50 =
+      float_of_int miss.svc_p50_ns /. float_of_int (max 1 warm.svc_p50_ns);
   }
 
 let service_json svc =
@@ -504,8 +539,9 @@ let service_json svc =
   Buffer.add_string buf
     (Printf.sprintf
        "{\"requests\":%d,\"hit_rate\":%.4f,\"hit_speedup_p50\":%.1f,\
-        \"cells\":["
-       svc.svc_requests svc.svc_hit_rate svc.svc_speedup_p50);
+        \"warm_restart_speedup\":%.1f,\"cells\":["
+       svc.svc_requests svc.svc_hit_rate svc.svc_speedup_p50
+       svc.svc_warm_speedup_p50);
   List.iteri
     (fun i c ->
       if i > 0 then Buffer.add_char buf ',';

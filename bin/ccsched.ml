@@ -1117,6 +1117,30 @@ let serve_cmd =
          & info [ "max-clients" ] ~docv:"N"
              ~doc:"Refuse connections beyond $(docv) concurrent clients.")
   in
+  let max_queue_arg =
+    Arg.(value & opt int 1024
+         & info [ "max-queue" ] ~docv:"N"
+             ~doc:"Admit at most $(docv) request lines per event-loop \
+                   iteration; the excess is shed with typed $(b,overloaded) \
+                   error replies carrying a retry_after_ms backoff hint.")
+  in
+  let default_deadline_arg =
+    Arg.(value & opt (some int) None
+         & info [ "default-deadline" ] ~docv:"MS"
+             ~doc:"Computation budget in milliseconds applied to every \
+                   schedule/replan request that carries no \
+                   $(b,\"deadline_ms\") of its own; expiry yields a typed \
+                   $(b,deadline_exceeded) error reply.")
+  in
+  let state_arg =
+    Arg.(value & opt (some string) None
+         & info [ "state" ] ~docv:"DIR"
+             ~doc:"Crash-safe warm restart: journal committed cache entries \
+                   to $(docv)/state.ccsj and replay them on startup, so a \
+                   restarted daemon answers previously-cached sessions \
+                   byte-identically (as cached:true hits) and replans \
+                   against pre-crash session ids still work.")
+  in
   let log_arg =
     Arg.(value & opt (some string) None
          & info [ "log" ] ~docv:"FILE"
@@ -1133,12 +1157,26 @@ let serve_cmd =
              ~doc:"Minimum level written to --log: $(b,debug), $(b,info) \
                    (default), $(b,warn) or $(b,error).")
   in
-  let run socket cache max_clients domains log log_level profile metrics =
+  let run socket cache max_clients max_queue default_deadline state domains
+      log log_level profile metrics =
     if cache < 1 then die 2 "--cache needs N >= 1";
     if max_clients < 1 then die 2 "--max-clients needs N >= 1";
+    if max_queue < 1 then die 2 "--max-queue needs N >= 1";
+    (match default_deadline with
+    | Some ms when ms < 1 -> die 2 "--default-deadline needs MS >= 1"
+    | _ -> ());
     let cfg =
-      { Service.Server.socket_path = socket; capacity = cache; domains;
-        max_clients }
+      { (Service.Server.default_config ~socket_path:socket) with
+        capacity = cache;
+        domains;
+        max_clients;
+        max_queue;
+        default_deadline_ms = default_deadline;
+        state_dir = state;
+        (* The daemon owns its process: SIGTERM/SIGINT drain and unlink
+           the socket instead of killing mid-reply. *)
+        handle_signals = true;
+      }
     in
     with_observability ~profile ~metrics @@ fun () ->
     (* The daemon always keeps the registries live: `metrics` scrapes
@@ -1181,9 +1219,12 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:"Run the scheduling daemon: a Unix-domain-socket NDJSON server \
              (protocol ccsched-rpc/1, see docs/service.md) with a \
-             content-addressed schedule cache, live replan and always-on \
-             telemetry (metrics/health requests, optional --log).")
-    Term.(const run $ socket_arg $ cache_arg $ max_clients_arg $ domains_arg
+             content-addressed schedule cache, live replan, always-on \
+             telemetry (metrics/health requests, optional --log), \
+             admission control (--max-queue), request deadlines \
+             (--default-deadline) and crash-safe warm restart (--state).")
+    Term.(const run $ socket_arg $ cache_arg $ max_clients_arg
+          $ max_queue_arg $ default_deadline_arg $ state_arg $ domains_arg
           $ log_arg $ log_level_arg $ profile_arg $ metrics_flag)
 
 let client_cmd =
@@ -1252,12 +1293,31 @@ let client_cmd =
              ~doc:"Wormhole transport (hops + volume - 1) instead of \
                    store-and-forward.")
   in
+  let deadline_arg =
+    Arg.(value & opt (some int) None
+         & info [ "deadline" ] ~docv:"MS"
+             ~doc:"Attach $(b,\"deadline_ms\"): the server abandons the \
+                   schedule/replan computation after $(docv) milliseconds \
+                   with a typed $(b,deadline_exceeded) error reply (carrying \
+                   the best-so-far length when the search got that far).")
+  in
+  let retry_arg =
+    Arg.(value & opt int 0
+         & info [ "retry" ] ~docv:"N"
+             ~doc:"Retry transport-level failures (connection refused, peer \
+                   vanished mid-conversation) up to $(docv) times with \
+                   jittered exponential backoff.  Typed server errors — \
+                   including $(b,overloaded) and $(b,deadline_exceeded) — \
+                   are definitive answers and are never retried.")
+  in
   (* An error reply is a completed RPC, but the CLI keeps its exit-code
      discipline: malformed payloads are 3, requests the server refused
-     are 2, server-side failures are 1 (docs/cli.md). *)
+     are 2 (including overloaded shedding — the request never ran),
+     server-side failures are 1 (internal, deadline_exceeded) —
+     docs/cli.md. *)
   let exit_code_of_error_code = function
     | "parse" | "bad_graph" -> 3
-    | "version" | "bad_request" | "unknown_session" -> 2
+    | "version" | "bad_request" | "unknown_session" | "overloaded" -> 2
     | _ -> 1
   in
   let reply_exit line =
@@ -1267,20 +1327,32 @@ let client_cmd =
     | Ok _ -> 0
     | Error msg -> die 3 ("malformed reply: " ^ msg)
   in
-  let run socket graph arch mode passes slowdown speeds wormhole replan
-      fail_pes fail_links stats metrics health trace shutdown stdin_mode =
-    let conn =
-      match Service.Client.connect socket with
-      | Ok c -> c
-      | Error e -> die 2 (Service.Client.error_to_string e)
+  let run socket graph arch mode passes slowdown speeds wormhole deadline
+      retry replan fail_pes fail_links stats metrics health trace shutdown
+      stdin_mode =
+    if retry < 0 then die 2 "--retry needs N >= 0";
+    (match deadline with
+    | Some ms when ms < 1 -> die 2 "--deadline needs MS >= 1"
+    | _ -> ());
+    let seed = Unix.getpid () lxor (Obs.Trace.now_ns () land 0xFFFFFF) in
+    let conn = Service.Client.retrying ~retries:retry ~seed socket in
+    let die_client e =
+      (* A connection that never came up is a usage problem (exit 2);
+         a peer lost or garbled mid-conversation is malformed input
+         from the network (exit 3). *)
+      match e with
+      | Service.Client.Connect_failed _ ->
+          die 2 (Service.Client.error_to_string e)
+      | _ -> die 3 (Service.Client.error_to_string e)
     in
+    let rpc conn line = Service.Client.retrying_rpc_line conn line in
     let rpc_or_die line =
-      match Service.Client.rpc_line conn line with
+      match rpc conn line with
       | Ok reply ->
           print_string reply;
           print_newline ();
           reply_exit reply
-      | Error e -> die 3 (Service.Client.error_to_string e)
+      | Error e -> die_client e
     in
     let worst = ref 0 in
     let send line = worst := max !worst (rpc_or_die line) in
@@ -1353,6 +1425,7 @@ let client_cmd =
               transport =
                 (if wormhole then Cyclo.Cachekey.Wormhole
                  else Cyclo.Cachekey.Store_and_forward);
+              deadline_ms = deadline;
             }
           in
           send_request ~trace
@@ -1363,7 +1436,8 @@ let client_cmd =
           if fail_pes = [] && fail_links = [] then
             die 2 "--replan needs at least one --fail-pe or --fail-link";
           send_request ~trace
-            (Service.Protocol.Replan { session; fail_pes; fail_links })
+            (Service.Protocol.Replan
+               { session; fail_pes; fail_links; deadline_ms = deadline })
       | None -> ());
       if stats then send_request Service.Protocol.Stats;
       if metrics then begin
@@ -1373,7 +1447,7 @@ let client_cmd =
           Service.Protocol.request_to_json ~id:(next_id ())
             Service.Protocol.Metrics
         in
-        match Service.Client.rpc_line conn line with
+        match rpc conn line with
         | Ok reply -> (
             match Service.Protocol.parse_reply reply with
             | Ok (Service.Protocol.Metrics_reply { body; _ }) ->
@@ -1384,12 +1458,12 @@ let client_cmd =
                     (exit_code_of_error_code err.Service.Protocol.code)
             | Ok _ -> die 3 "malformed reply: expected a metrics reply"
             | Error msg -> die 3 ("malformed reply: " ^ msg))
-        | Error e -> die 3 (Service.Client.error_to_string e)
+        | Error e -> die_client e
       end;
       if health then send_request Service.Protocol.Health;
       if shutdown then send_request Service.Protocol.Shutdown
     end;
-    Service.Client.close conn;
+    Service.Client.retrying_close conn;
     if !worst <> 0 then exit !worst
   in
   Cmd.v
@@ -1399,6 +1473,7 @@ let client_cmd =
              raw reply line per request (see docs/service.md).")
     Term.(const run $ socket_arg $ graph_opt_arg $ arch_arg $ mode_arg
           $ passes_arg $ slowdown_arg $ speeds_arg $ wormhole_flag
+          $ deadline_arg $ retry_arg
           $ replan_arg $ fail_pe_arg $ fail_link_arg $ stats_flag
           $ metrics_req_flag $ health_flag $ trace_rpc_flag
           $ shutdown_flag $ stdin_flag)
@@ -1480,17 +1555,18 @@ let top_cmd =
       let req_rate = value_of d "service.requests" /. dt in
       let dh = value_of d "service.cache_hits"
       and dm = value_of d "service.cache_misses" in
-      let latency_name = Obs.Exposition.metric_name "service.request_latency" in
-      let quantile q =
+      let quantile_of raw q =
         (* prefer the between-scrapes window; before any window traffic,
            fall back to the lifetime histogram *)
+        let name = Obs.Exposition.metric_name raw in
         let pick fams =
-          match Obs.Exposition.find fams latency_name with
+          match Obs.Exposition.find fams name with
           | Some fam -> Obs.Exposition.histogram_quantile fam q
           | None -> None
         in
         match pick d with Some v -> Some v | None -> pick f2
       in
+      let quantile q = quantile_of "service.request_latency" q in
       let pp_quantile = function
         | Some v when v = infinity -> ">2^63ns"
         | Some v -> pp_ns v
@@ -1511,6 +1587,12 @@ let top_cmd =
         (pp_quantile (quantile 0.99));
       Fmt.pr "load          queue depth %d, active clients %d@."
         h.SP.queue_depth h.SP.active_clients;
+      Fmt.pr "backpressure  %.0f shed (%.1f/s window), %.0f slow clients, \
+              queue wait p50 %s@."
+        (value_of f2 "service.shed_requests")
+        (value_of d "service.shed_requests" /. dt)
+        (value_of f2 "service.slow_clients")
+        (pp_quantile (quantile_of "service.queue_wait" 0.5));
       let pp_mb b = Printf.sprintf "%.1f MB" (float_of_int b /. 1048576.) in
       Fmt.pr "memory        rss %s (peak %s), heap %s, gc %.1f minor/s %.2f \
               major/s@."

@@ -22,6 +22,7 @@ type result = {
   final : Schedule.t;
   trace : trace_entry list;
   converged : bool;
+  timed_out : bool;
 }
 
 let default_passes n = max 16 (4 * n)
@@ -199,15 +200,31 @@ let stepper_result st =
     final = st.sp_sched;
     trace = List.rev st.sp_trace;
     converged = st.sp_converged;
+    timed_out = false;
   }
 
-let drive ~mode ?scoring ?order ~budget ~validate startup =
+(* A wall-clock budget is enforced through the same [should_stop] hook
+   Portfolio uses for pruning: checked before every pass, so a pass that
+   is already running completes — cancellation lands at the next pass
+   boundary and the best-so-far schedule always stands. *)
+let deadline_stop time_budget =
+  match time_budget with
+  | None -> None
+  | Some budget ->
+      let deadline = Obs.Trace.now_ns () + int_of_float (budget *. 1e9) in
+      Some (fun ~pass:_ ~best:_ -> Obs.Trace.now_ns () > deadline)
+
+let drive ~mode ?scoring ?order ~budget ?time_budget ~validate startup =
   let st = stepper ~mode ?scoring ?order ~budget ~validate startup in
-  let (_ : [ `Finished | `Paused | `Stopped ]) = advance ~passes:budget st in
-  stepper_result st
+  let outcome =
+    match deadline_stop time_budget with
+    | None -> advance ~passes:budget st
+    | Some should_stop -> advance ~should_stop ~passes:budget st
+  in
+  { (stepper_result st) with timed_out = outcome = `Stopped }
 
 let run ?(mode = Remap.With_relaxation) ?scoring ?order ?speeds ?passes
-    ?(validate = true) dfg comm =
+    ?time_budget ?(validate = true) dfg comm =
   Obs.Trace.with_span "compaction.run"
     ~args:
       [
@@ -222,10 +239,10 @@ let run ?(mode = Remap.With_relaxation) ?scoring ?order ?speeds ?passes
     | Some p -> max 0 p
     | None -> default_passes (Csdfg.n_nodes dfg)
   in
-  drive ~mode ?scoring ?order ~budget ~validate startup
+  drive ~mode ?scoring ?order ~budget ?time_budget ~validate startup
 
 let resume ?(mode = Remap.With_relaxation) ?scoring ?order ?passes
-    ?(validate = true) sched =
+    ?time_budget ?(validate = true) sched =
   Obs.Trace.with_span "compaction.resume" @@ fun () ->
   if validate then Validator.assert_legal sched;
   let budget =
@@ -233,10 +250,11 @@ let resume ?(mode = Remap.With_relaxation) ?scoring ?order ?passes
     | Some p -> max 0 p
     | None -> default_passes (Csdfg.n_nodes (Schedule.dfg sched))
   in
-  drive ~mode ?scoring ?order ~budget ~validate sched
+  drive ~mode ?scoring ?order ~budget ?time_budget ~validate sched
 
-let run_on ?mode ?scoring ?order ?speeds ?passes ?validate dfg topo =
-  run ?mode ?scoring ?order ?speeds ?passes ?validate dfg
+let run_on ?mode ?scoring ?order ?speeds ?passes ?time_budget ?validate dfg
+    topo =
+  run ?mode ?scoring ?order ?speeds ?passes ?time_budget ?validate dfg
     (Comm.of_topology topo)
 
 let pp_trace ppf trace =

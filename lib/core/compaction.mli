@@ -30,6 +30,9 @@ type result = {
   final : Schedule.t;  (** state after the last pass *)
   trace : trace_entry list;  (** one entry per executed pass *)
   converged : bool;  (** stopped on a repeated state, not the pass budget *)
+  timed_out : bool;
+      (** the wall-clock [time_budget] expired before the pass budget;
+          [best] is the best-so-far at cancellation *)
 }
 
 val default_passes : int -> int
@@ -43,6 +46,7 @@ val run :
   ?order:Remap.order ->
   ?speeds:int array ->
   ?passes:int ->
+  ?time_budget:float ->
   ?validate:bool ->
   Dataflow.Csdfg.t ->
   Comm.t ->
@@ -51,6 +55,11 @@ val run :
     [scoring] to [Pressure_first] and [order] to [Forward]; [validate]
     (default [true]) re-checks every intermediate schedule with
     {!Validator} and raises [Failure] on any internal inconsistency.
+    [time_budget] (seconds of wall clock, measured from the first pass)
+    cancels the search at the next pass boundary once exceeded; the
+    result then has [timed_out = true] and [best] holds the best
+    schedule found so far — the start-up schedule at worst, so a timed
+    out run still returns a legal schedule.
     @raise Invalid_argument when the CSDFG is illegal. *)
 
 val run_on :
@@ -59,6 +68,7 @@ val run_on :
   ?order:Remap.order ->
   ?speeds:int array ->
   ?passes:int ->
+  ?time_budget:float ->
   ?validate:bool ->
   Dataflow.Csdfg.t ->
   Topology.t ->
@@ -69,6 +79,7 @@ val resume :
   ?scoring:Remap.scoring ->
   ?order:Remap.order ->
   ?passes:int ->
+  ?time_budget:float ->
   ?validate:bool ->
   Schedule.t ->
   result

@@ -83,8 +83,24 @@ let valid_on dsched dtopo =
   Validator.is_legal dsched
   && Validator.check_topology dsched dtopo = Ok ()
 
-let replan sched topo ~failed_pes ~failed_links =
+let deadline_error = "deadline exceeded"
+
+let replan ?time_budget sched topo ~failed_pes ~failed_links =
   Obs.Counters.incr c_replans;
+  (* Replanning is a short pipeline of indivisible phases (patch, the
+     rebuild fallback, migration pricing); the budget is checked at the
+     phase boundaries, so expiry surfaces as a typed error rather than
+     a half-built plan. *)
+  let deadline =
+    Option.map
+      (fun b -> Obs.Trace.now_ns () + int_of_float (b *. 1e9))
+      time_budget
+  in
+  let out_of_time () =
+    match deadline with
+    | None -> false
+    | Some d -> Obs.Trace.now_ns () > d
+  in
   Obs.Trace.with_span "degrade.replan"
     ~args:
       [
@@ -152,8 +168,13 @@ let replan sched topo ~failed_pes ~failed_links =
         let s = Schedule.set_length s (Timing.required_length s) in
         if valid_on s dtopo then Some s else None
       in
+      if out_of_time () then Error deadline_error
+      else
+      let patched = patch () in
+      if out_of_time () then Error deadline_error
+      else
       let schedule, strategy =
-        match patch () with
+        match patched with
         | Some s -> (s, Patched)
         | None ->
             (* never re-compact here: compaction retimes, and retiming
@@ -164,6 +185,7 @@ let replan sched topo ~failed_pes ~failed_links =
       in
       if not (valid_on schedule dtopo) then
         Error "degraded schedule failed validation (internal error)"
+      else if out_of_time () then Error deadline_error
       else begin
         (* Migration: every node that changed processor ships its
            loop-carried state from a donor — its old processor when

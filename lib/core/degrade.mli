@@ -56,6 +56,7 @@ val sub_topology :
     processor survives or the survivors are disconnected. *)
 
 val replan :
+  ?time_budget:float ->
   Schedule.t ->
   Topology.t ->
   failed_pes:int list ->
@@ -66,8 +67,16 @@ val replan :
     {!Validator.check_topology} against the degraded machine) before
     being returned; an infeasible patch falls back to a rebuild.
     [Error] when the surviving machine is empty or disconnected.
+    [time_budget] (seconds of wall clock) is checked at the phase
+    boundaries of the replanning pipeline; expiry yields
+    [Error] {!deadline_error}.
     @raise Invalid_argument when the schedule is incomplete or a
     failed processor is out of range. *)
+
+val deadline_error : string
+(** The exact [Error] payload [replan] returns when its [time_budget]
+    expires — callers match on it to distinguish cancellation from a
+    genuinely infeasible scenario. *)
 
 val migration_volume : Schedule.t -> int -> int
 (** The state that moves with a node: the tokens held on its delayed

@@ -22,6 +22,7 @@ type t = {
   domains : int;
   lower_bound : int;
   rounds : int;
+  timed_out : bool;
 }
 
 let default_k = 8
@@ -69,7 +70,7 @@ let run ?(k = default_k) ?domains ?(round_passes = default_round_passes)
     ?(patience_lead = default_patience_lead)
     ?(patience_lose = default_patience_lose)
     ?(shadow_patience = default_shadow_patience) ?(prune = true) ?passes
-    ?speeds ?(validate = false) dfg comm =
+    ?time_budget ?speeds ?(validate = false) dfg comm =
   if k < 1 then invalid_arg "Portfolio.run: k must be >= 1";
   if round_passes < 1 then
     invalid_arg "Portfolio.run: round_passes must be >= 1";
@@ -95,6 +96,21 @@ let run ?(k = default_k) ?domains ?(round_passes = default_round_passes)
      count or completion order. *)
   let bound = Atomic.make (Schedule.length startup) in
   Obs.Counters.set g_bound (Atomic.get bound);
+  (* A wall-clock budget retires every search at its next pass boundary
+     once exceeded.  Unlike the patience rules this depends on timing,
+     so a timed-out portfolio trades the byte-identical-winner guarantee
+     for bounded latency — the flag records that the trade happened. *)
+  let deadline =
+    Option.map
+      (fun b -> Obs.Trace.now_ns () + int_of_float (b *. 1e9))
+      time_budget
+  in
+  let out_of_time () =
+    match deadline with
+    | None -> false
+    | Some d -> Obs.Trace.now_ns () > d
+  in
+  let timed_out = Atomic.make false in
   let members =
     List.map
       (fun s ->
@@ -135,7 +151,8 @@ let run ?(k = default_k) ?domains ?(round_passes = default_round_passes)
         m.last_improve <- pass - 1;
         m.best_sig <- None
       end;
-      best <= m.s.l_target
+      (out_of_time () && (Atomic.set timed_out true; true))
+      || best <= m.s.l_target
       || prune
          &&
          let stale = pass - 1 - m.last_improve in
@@ -251,12 +268,13 @@ let run ?(k = default_k) ?domains ?(round_passes = default_round_passes)
         domains;
         lower_bound = lb;
         rounds = !rounds;
+        timed_out = Atomic.get timed_out;
       }
 
 let run_on ?k ?domains ?round_passes ?patience_lead ?patience_lose
-    ?shadow_patience ?prune ?passes ?speeds ?validate dfg topo =
+    ?shadow_patience ?prune ?passes ?time_budget ?speeds ?validate dfg topo =
   run ?k ?domains ?round_passes ?patience_lead ?patience_lose ?shadow_patience
-    ?prune ?passes ?speeds ?validate dfg (Comm.of_topology topo)
+    ?prune ?passes ?time_budget ?speeds ?validate dfg (Comm.of_topology topo)
 
 let best t = t.winner.result.Compaction.best
 

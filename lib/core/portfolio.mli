@@ -67,6 +67,9 @@ type t = {
   domains : int;  (** domains actually used *)
   lower_bound : int;  (** {!Exhaustive.lower_bound} of the instance *)
   rounds : int;  (** barriers executed *)
+  timed_out : bool;
+      (** the wall-clock [time_budget] expired; the ranking holds the
+          best-so-far of every search at cancellation *)
 }
 
 val default_k : int
@@ -85,6 +88,7 @@ val run :
   ?shadow_patience:int ->
   ?prune:bool ->
   ?passes:int ->
+  ?time_budget:float ->
   ?speeds:int array ->
   ?validate:bool ->
   Dataflow.Csdfg.t ->
@@ -97,7 +101,12 @@ val run :
     with [~domains:1] is the sequential baseline the bench suite
     compares against — same searches, same result rule, every search
     driven to its natural end.  The start-up schedule is computed once
-    and shared.  [validate] (default [false]) re-checks every
+    and shared.  [time_budget] (seconds of wall clock) retires every
+    search at its next pass boundary once exceeded — the only knob
+    whose effect depends on timing rather than the trajectory, so a run
+    that actually times out ([timed_out = true]) forgoes the
+    byte-identical-winner determinism guarantee in exchange for bounded
+    latency.  [validate] (default [false]) re-checks every
     intermediate schedule; the winner is always validated.
     @raise Invalid_argument if [k < 1], [round_passes < 1], or the
     CSDFG is illegal. *)
@@ -111,6 +120,7 @@ val run_on :
   ?shadow_patience:int ->
   ?prune:bool ->
   ?passes:int ->
+  ?time_budget:float ->
   ?speeds:int array ->
   ?validate:bool ->
   Dataflow.Csdfg.t ->

@@ -77,3 +77,78 @@ let rpc t ~id request =
       | Error msg -> Error (Bad_reply msg))
 
 let last_reply_line t = t.last
+
+(* Jittered exponential backoff, deterministic under [seed] so tests
+   can assert the exact schedule.  Delay [i] is drawn from
+   [base * 2^i * [0.5, 1.0)] with base 50ms; the jitter comes from a
+   small LCG, not [Random], so library users' RNG state is untouched. *)
+let backoff_base = 0.05
+
+let backoff_delays ~retries ~seed =
+  let state = ref (seed land 0x3FFFFFFF) in
+  let next () =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    float_of_int !state /. float_of_int 0x40000000
+  in
+  List.init (max 0 retries) (fun i ->
+      let cap = backoff_base *. (2. ** float_of_int i) in
+      cap *. (0.5 +. (0.5 *. next ())))
+
+type retrying = {
+  socket : string;
+  sleep : float -> unit;
+  delays : float array;
+  mutable conn : t option;
+  mutable attempts : int;
+}
+
+let retrying ?(sleep = Unix.sleepf) ~retries ~seed socket =
+  {
+    socket;
+    sleep;
+    delays = Array.of_list (backoff_delays ~retries ~seed);
+    conn = None;
+    attempts = 0;
+  }
+
+let retrying_attempts r = r.attempts
+
+let retrying_close r =
+  Option.iter close r.conn;
+  r.conn <- None
+
+(* One request line with up to [Array.length r.delays] transport-level
+   retries.  Only [Connect_failed] and [Disconnected] are retried —
+   they are the transport telling us nothing definitive happened (and
+   requests are idempotent: the cache is content-addressed, so a resend
+   after an ambiguous disconnect can only turn a miss into a hit).  A
+   reply that parses — including typed server errors like [overloaded]
+   or [deadline_exceeded] — is a definitive answer and is returned as
+   is; honouring [retry_after_ms] is the caller's policy, not ours. *)
+let retrying_rpc_line r line =
+  let budget = Array.length r.delays in
+  let rec go attempt =
+    let backoff e =
+      if attempt >= budget then Error e
+      else begin
+        r.attempts <- r.attempts + 1;
+        r.sleep r.delays.(attempt);
+        go (attempt + 1)
+      end
+    in
+    let conn_result =
+      match r.conn with Some c -> Ok c | None -> connect r.socket
+    in
+    match conn_result with
+    | Error e -> backoff e
+    | Ok c -> (
+        r.conn <- Some c;
+        match rpc_line c line with
+        | Ok _ as ok -> ok
+        | Error Disconnected ->
+            close c;
+            r.conn <- None;
+            backoff Disconnected
+        | Error _ as e -> e)
+  in
+  go 0

@@ -29,10 +29,23 @@ type replan_info = {
   surviving : int;
 }
 
+(* Where an entry came from — enough to re-derive its schedule.  A
+   journal-restored entry has [live = None]: its reply bytes are served
+   straight from [schedule_json], and the in-memory schedule/topology
+   are only rebuilt (deterministically, so byte-identically) the first
+   time a replan chains on it. *)
+type source =
+  | Sched_of of { graph : P.graph_spec; arch : string; knobs : P.knobs }
+  | Replan_of of {
+      parent : string;
+      fail_pes : int list;  (* 1-based, as on the wire *)
+      fail_links : (int * int) list;
+    }
+
 type entry = {
-  schedule : Schedule.t;
-  topo : Topology.t;
-  schedule_json : string;  (* Export.to_json of [schedule], one line *)
+  mutable live : (Schedule.t * Topology.t) option;
+  source : source;
+  schedule_json : string;  (* Export.to_json of the schedule, one line *)
   length : int;
   passes : int;
   replan : replan_info option;
@@ -43,6 +56,8 @@ type t = {
   suite : (string, Csdfg.t) Hashtbl.t;
       (* built-in workloads, constructed and validated once — Suite.find
          rebuilds every graph per call, far too slow for the hit path *)
+  statefile : Statefile.t option;
+  default_deadline_ms : int option;
   created : float;  (* Unix.gettimeofday at create, for health uptime *)
   mutable requests : int;
   mutable hits : int;
@@ -54,15 +69,120 @@ type t = {
 
 let build_id = "ccsched/1.0.0"
 
-let create ?(capacity = 256) () =
+let entry_of_record = function
+  | Statefile.Sched s ->
+      ( s.Statefile.s_key,
+        {
+          live = None;
+          source =
+            Sched_of
+              {
+                graph = s.Statefile.s_graph;
+                arch = s.Statefile.s_arch;
+                knobs = s.Statefile.s_knobs;
+              };
+          schedule_json = s.Statefile.s_schedule_json;
+          length = s.Statefile.s_length;
+          passes = s.Statefile.s_passes;
+          replan = None;
+        } )
+  | Statefile.Replan r ->
+      ( r.Statefile.r_key,
+        {
+          live = None;
+          source =
+            Replan_of
+              {
+                parent = r.Statefile.r_parent;
+                fail_pes = r.Statefile.r_fail_pes;
+                fail_links = r.Statefile.r_fail_links;
+              };
+          schedule_json = r.Statefile.r_schedule_json;
+          length = r.Statefile.r_length;
+          passes = 0;
+          replan =
+            Some
+              {
+                strategy = r.Statefile.r_strategy;
+                migration_cost = r.Statefile.r_migration_cost;
+                moved = r.Statefile.r_moved;
+                surviving = r.Statefile.r_surviving;
+              };
+        } )
+
+let record_of_entry key e =
+  match (e.source, e.replan) with
+  | Sched_of { graph; arch; knobs }, _ ->
+      Some
+        (Statefile.Sched
+           {
+             Statefile.s_key = key;
+             s_graph = graph;
+             s_arch = arch;
+             (* a deadline changes when an answer arrives, never which
+                answer — and a replayed entry must not re-time-out *)
+             s_knobs = { knobs with P.deadline_ms = None };
+             s_length = e.length;
+             s_passes = e.passes;
+             s_schedule_json = e.schedule_json;
+           })
+  | Replan_of { parent; fail_pes; fail_links }, Some info ->
+      Some
+        (Statefile.Replan
+           {
+             Statefile.r_key = key;
+             r_parent = parent;
+             r_fail_pes = fail_pes;
+             r_fail_links = fail_links;
+             r_length = e.length;
+             r_strategy = info.strategy;
+             r_migration_cost = info.migration_cost;
+             r_moved = info.moved;
+             r_surviving = info.surviving;
+             r_schedule_json = e.schedule_json;
+           })
+  | Replan_of _, None -> None
+
+let create ?(capacity = 256) ?default_deadline_ms ?state_dir () =
   let suite = Hashtbl.create 32 in
   List.iter
     (fun (name, g) ->
       if Result.is_ok (Csdfg.validate g) then Hashtbl.replace suite name g)
     (Workloads.Suite.all ());
+  let cache = Lru.create ~capacity in
+  let statefile =
+    match state_dir with
+    | None -> None
+    | Some dir -> (
+        match Statefile.open_ ~dir with
+        | Error msg -> failwith (Printf.sprintf "cannot open state: %s" msg)
+        | Ok (sf, records, dropped_bytes) ->
+            (* journal order is append order, oldest first, so replaying
+               in order reproduces the pre-crash recency (the newest
+               records land most-recently-used, and a re-journalled key
+               simply refreshes its slot) *)
+            List.iter
+              (fun r ->
+                let key, entry = entry_of_record r in
+                Lru.add cache key entry)
+              records;
+            Obs.Log.emit
+              ~kv:
+                [
+                  ("journal", Obs.Log.S (Statefile.path sf));
+                  ("records", Obs.Log.I (List.length records));
+                  ("entries", Obs.Log.I (Lru.length cache));
+                  ("dropped_bytes", Obs.Log.I dropped_bytes);
+                ]
+              (if dropped_bytes > 0 then Obs.Log.Warn else Obs.Log.Info)
+              "serve.restore";
+            Some sf)
+  in
   {
-    cache = Lru.create ~capacity;
+    cache;
     suite;
+    statefile;
+    default_deadline_ms;
     created = Unix.gettimeofday ();
     requests = 0;
     hits = 0;
@@ -71,6 +191,8 @@ let create ?(capacity = 256) () =
     active_clients = 0;
     last_replan = "none";
   }
+
+let close t = Option.iter Statefile.close t.statefile
 
 let stats t =
   {
@@ -126,10 +248,35 @@ type prepared = {
   key : string;
   graph : Csdfg.t;  (* resolved, before slow-down *)
   p_topo : Topology.t;
+  p_spec : P.graph_spec;  (* as requested, for journalling *)
+  p_arch : string;
   knobs : P.knobs;
+  deadline : float option;  (* effective budget, seconds *)
 }
 
-let err code fmt = Printf.ksprintf (fun message -> { P.code; message }) fmt
+let err code fmt = Printf.ksprintf (fun message -> P.err code message) fmt
+
+(* The per-request deadline, falling back to the daemon-wide default.
+   It budgets the server-side computation (the search passes), not the
+   whole round trip: queueing and writes are governed separately by the
+   server's admission control and write timeouts. *)
+let effective_deadline t deadline_ms =
+  match (deadline_ms, t.default_deadline_ms) with
+  | Some ms, _ | None, Some ms -> Some (float_of_int ms /. 1000.)
+  | None, None -> None
+
+let deadline_ns_of = function
+  | None -> None
+  | Some seconds ->
+      Some (Obs.Trace.now_ns () + int_of_float (seconds *. 1e9))
+
+let remaining_s = function
+  | None -> None
+  | Some ns -> Some (float_of_int (ns - Obs.Trace.now_ns ()) /. 1e9)
+
+let expired = function
+  | None -> false
+  | Some ns -> Obs.Trace.now_ns () >= ns
 
 let resolve t ~graph ~arch (knobs : P.knobs) =
   let ( let* ) = Result.bind in
@@ -177,11 +324,22 @@ let resolve t ~graph ~arch (knobs : P.knobs) =
       ~slowdown:knobs.P.slowdown ~mode:knobs.P.mode
       ~transport:knobs.P.transport g topo
   in
-  Ok { key; graph = g; p_topo = topo; knobs }
+  Ok
+    {
+      key;
+      graph = g;
+      p_topo = topo;
+      p_spec = graph;
+      p_arch = arch;
+      knobs;
+      deadline = effective_deadline t knobs.P.deadline_ms;
+    }
 
 (* The exact one-shot pipeline: slow-down transform, then compaction
    under the requested transport.  Deterministic, and shared state free
-   so batches may run it on any domain. *)
+   so batches may run it on any domain.  A timed-out search is an
+   error, never a cache entry: partial results must not be served as if
+   they were the content-addressed answer. *)
 let compute prep =
   let k = prep.knobs in
   let g =
@@ -194,14 +352,25 @@ let compute prep =
     | Cachekey.Wormhole -> Cyclo.Comm.wormhole prep.p_topo
   in
   match
-    Compaction.run ~mode:k.P.mode ?speeds:k.P.speeds ?passes:k.P.passes g comm
+    Compaction.run ~mode:k.P.mode ?speeds:k.P.speeds ?passes:k.P.passes
+      ?time_budget:prep.deadline g comm
   with
+  | r when r.Compaction.timed_out ->
+      let best_length = Schedule.length r.Compaction.best in
+      Error
+        (P.err ~best_length "deadline_exceeded"
+           (Printf.sprintf
+              "schedule search exceeded its deadline after %d passes \
+               (best-so-far length %d)"
+              (List.length r.Compaction.trace)
+              best_length))
   | r ->
       let best = r.Compaction.best in
       Ok
         {
-          schedule = best;
-          topo = prep.p_topo;
+          live = Some (best, prep.p_topo);
+          source =
+            Sched_of { graph = prep.p_spec; arch = prep.p_arch; knobs = k };
           schedule_json = Cyclo.Export.to_json best;
           length = Schedule.length best;
           passes = List.length r.Compaction.trace;
@@ -209,6 +378,13 @@ let compute prep =
         }
   | exception (Invalid_argument msg | Failure msg) ->
       Error (err "internal" "scheduling failed: %s" msg)
+
+let journal_records t =
+  (* oldest-first so replay reproduces the recency order; refreshing
+     each key in that order while iterating leaves the order intact *)
+  List.rev (Lru.keys t.cache)
+  |> List.filter_map (fun key ->
+         Option.bind (Lru.find t.cache key) (record_of_entry key))
 
 let commit t key entry =
   let before = Lru.evictions t.cache in
@@ -220,7 +396,26 @@ let commit t key entry =
       Obs.Log.emit ~session:key
         ~kv:[ ("evicted", Obs.Log.I evicted) ]
         Obs.Log.Info "eviction"
-  end
+  end;
+  match t.statefile with
+  | None -> ()
+  | Some sf -> (
+      Option.iter (Statefile.append sf) (record_of_entry key entry);
+      (* Compaction bound: once the journal holds more appends than
+         twice the live entries (≥ 64 so small caches do not thrash),
+         evicted and superseded records dominate — rewrite it to just
+         the current entries. *)
+      if Statefile.appended sf >= max 64 (2 * Lru.length t.cache) then begin
+        let records = journal_records t in
+        Statefile.compact sf records;
+        Obs.Log.emit
+          ~kv:
+            [
+              ("journal", Obs.Log.S (Statefile.path sf));
+              ("records", Obs.Log.I (List.length records));
+            ]
+          Obs.Log.Info "serve.compact_state"
+      end)
 
 let scheduled_reply ~id ~key ~cached entry =
   P.Scheduled
@@ -251,7 +446,72 @@ let replanned_reply ~id ~key ~cached entry info =
       schedule_json = entry.schedule_json;
     }
 
-let replan_entry t ~session ~fail_pes ~fail_links =
+(* Rebuild a restored entry's in-memory schedule/topology from its
+   recorded derivation.  The scheduler is deterministic, so the rebuilt
+   schedule is the one whose export bytes the entry already serves; the
+   rebuild is cached on the entry, so a replan chain is re-derived at
+   most once per restart.  [deadline_ns] caps the whole recursive
+   rebuild — it is the requesting replan's own budget. *)
+let rec force t ~deadline_ns entry =
+  match entry.live with
+  | Some lt -> Ok lt
+  | None ->
+      let result =
+        if expired deadline_ns then
+          Error
+            (err "deadline_exceeded"
+               "deadline expired while rebuilding the session's schedule")
+        else
+          match entry.source with
+          | Sched_of { graph; arch; knobs } -> (
+              match resolve t ~graph ~arch knobs with
+              | Error e -> Error e
+              | Ok prep -> (
+                  match
+                    compute { prep with deadline = remaining_s deadline_ns }
+                  with
+                  | Ok { live = Some lt; _ } -> Ok lt
+                  | Ok { live = None; _ } ->
+                      Error (err "internal" "rebuild lost its schedule")
+                  | Error e -> Error e))
+          | Replan_of { parent; fail_pes; fail_links } -> (
+              match Lru.find t.cache parent with
+              | None ->
+                  Error
+                    (err "unknown_session"
+                       "parent session %s of this replan chain was evicted \
+                        — re-send the original schedule request"
+                       parent)
+              | Some p -> (
+                  match force t ~deadline_ns p with
+                  | Error e -> Error e
+                  | Ok (psched, ptopo) -> (
+                      let failed_pes = List.map (fun p -> p - 1) fail_pes in
+                      let failed_links =
+                        List.map (fun (a, b) -> (a - 1, b - 1)) fail_links
+                      in
+                      match
+                        Cyclo.Degrade.replan
+                          ?time_budget:(remaining_s deadline_ns) psched ptopo
+                          ~failed_pes ~failed_links
+                      with
+                      | Ok plan ->
+                          Ok
+                            ( plan.Cyclo.Degrade.schedule,
+                              plan.Cyclo.Degrade.topology )
+                      | Error msg when msg = Cyclo.Degrade.deadline_error ->
+                          Error (err "deadline_exceeded" "%s" msg)
+                      | Error msg ->
+                          Error (err "internal" "rebuild failed: %s" msg)
+                      | exception (Invalid_argument msg | Failure msg) ->
+                          Error (err "internal" "rebuild failed: %s" msg))))
+      in
+      (match result with
+      | Ok lt -> entry.live <- Some lt
+      | Error _ -> ());
+      result
+
+let replan_entry t ~deadline_ns ~session ~fail_pes ~fail_links =
   let ( let* ) = Result.bind in
   let* parent =
     match Lru.find t.cache session with
@@ -263,7 +523,8 @@ let replan_entry t ~session ~fail_pes ~fail_links =
               — re-send the schedule request)"
              session)
   in
-  let np = Topology.n_processors parent.topo in
+  let* parent_schedule, parent_topo = force t ~deadline_ns parent in
+  let np = Topology.n_processors parent_topo in
   let* () =
     match
       List.find_opt (fun p -> p < 1 || p > np) fail_pes
@@ -287,34 +548,41 @@ let replan_entry t ~session ~fail_pes ~fail_links =
   in
   let failed_pes = List.map (fun p -> p - 1) fail_pes in
   let failed_links = List.map (fun (a, b) -> (a - 1, b - 1)) fail_links in
-  match
-    Cyclo.Degrade.replan parent.schedule parent.topo ~failed_pes ~failed_links
-  with
-  | Ok plan ->
-      let sched = plan.Cyclo.Degrade.schedule in
-      let info =
-        {
-          strategy =
-            (match plan.Cyclo.Degrade.strategy with
-            | Cyclo.Degrade.Patched -> "patched"
-            | Cyclo.Degrade.Rebuilt -> "rebuilt");
-          migration_cost = plan.Cyclo.Degrade.migration_cost;
-          moved = List.length plan.Cyclo.Degrade.moved;
-          surviving = Array.length plan.Cyclo.Degrade.surviving;
-        }
-      in
-      Ok
-        {
-          schedule = sched;
-          topo = plan.Cyclo.Degrade.topology;
-          schedule_json = Cyclo.Export.to_json sched;
-          length = Schedule.length sched;
-          passes = 0;
-          replan = Some info;
-        }
-  | Error msg -> Error (err "replan_failed" "%s" msg)
-  | exception (Invalid_argument msg | Failure msg) ->
-      Error (err "replan_failed" "%s" msg)
+  if expired deadline_ns then
+    Error (err "deadline_exceeded" "deadline expired before replanning began")
+  else
+    match
+      Cyclo.Degrade.replan
+        ?time_budget:(remaining_s deadline_ns) parent_schedule parent_topo
+        ~failed_pes ~failed_links
+    with
+    | Ok plan ->
+        let sched = plan.Cyclo.Degrade.schedule in
+        let info =
+          {
+            strategy =
+              (match plan.Cyclo.Degrade.strategy with
+              | Cyclo.Degrade.Patched -> "patched"
+              | Cyclo.Degrade.Rebuilt -> "rebuilt");
+            migration_cost = plan.Cyclo.Degrade.migration_cost;
+            moved = List.length plan.Cyclo.Degrade.moved;
+            surviving = Array.length plan.Cyclo.Degrade.surviving;
+          }
+        in
+        Ok
+          {
+            live = Some (sched, plan.Cyclo.Degrade.topology);
+            source = Replan_of { parent = session; fail_pes; fail_links };
+            schedule_json = Cyclo.Export.to_json sched;
+            length = Schedule.length sched;
+            passes = 0;
+            replan = Some info;
+          }
+    | Error msg when msg = Cyclo.Degrade.deadline_error ->
+        Error (err "deadline_exceeded" "%s" msg)
+    | Error msg -> Error (err "replan_failed" "%s" msg)
+    | exception (Invalid_argument msg | Failure msg) ->
+        Error (err "replan_failed" "%s" msg)
 
 (* ------------------------------------------------------------------ *)
 (* Dispatch                                                             *)
@@ -375,7 +643,7 @@ let handle_with ?precomputed ?spans t ~id request =
                   commit t prep.key entry;
                   scheduled_reply ~id ~key:prep.key ~cached:false entry
               | Error e -> P.Error_reply { id = Some id; err = e })))
-  | P.Replan { session; fail_pes; fail_links } -> (
+  | P.Replan { session; fail_pes; fail_links; deadline_ms } -> (
       let key = Cachekey.replan_digest ~parent:session ~failed_pes:fail_pes
           ~failed_links:fail_links
       in
@@ -385,9 +653,12 @@ let handle_with ?precomputed ?spans t ~id request =
           t.last_replan <- info.strategy;
           replanned_reply ~id ~key ~cached:true entry info
       | Some { replan = None; _ } | None -> (
+          let deadline_ns =
+            deadline_ns_of (effective_deadline t deadline_ms)
+          in
           match
             tick "replan" (fun () ->
-                replan_entry t ~session ~fail_pes ~fail_links)
+                replan_entry t ~deadline_ns ~session ~fail_pes ~fail_links)
           with
           | Ok ({ replan = Some info; _ } as entry) ->
               record_miss t;
@@ -445,9 +716,15 @@ let log_reply ~t0 ?request_id reply =
         L.emit ?request_id ~duration_ns ~kv:[ ("op", L.S "shutdown") ] L.Info
           "request"
     | P.Error_reply { err = e; _ } ->
+        (* deadline expiries get their own event name so the log stream
+           explains every cancelled request without decoding codes *)
+        let event =
+          if e.P.code = "deadline_exceeded" then "serve.deadline_exceeded"
+          else "error"
+        in
         L.emit ?request_id ~duration_ns
           ~kv:[ ("code", L.S e.P.code) ]
-          L.Warn "error"
+          L.Warn event
   end
 
 let handle_line_with ?precomputed t line =

@@ -26,11 +26,32 @@
 
 type t
 
-val create : ?capacity:int -> unit -> t
-(** A fresh engine with an empty cache.  [capacity] (default 256) bounds
-    the number of cached schedules; beyond it the least-recently-used
-    entry — schedule or replan alike — is evicted.
-    @raise Invalid_argument when [capacity < 1]. *)
+val create :
+  ?capacity:int -> ?default_deadline_ms:int -> ?state_dir:string -> unit -> t
+(** A fresh engine.  [capacity] (default 256) bounds the number of
+    cached schedules; beyond it the least-recently-used entry —
+    schedule or replan alike — is evicted.
+
+    [default_deadline_ms] is the computation budget applied to every
+    schedule/replan request that does not carry its own ["deadline_ms"];
+    expiry yields a typed [deadline_exceeded] error (with the
+    best-so-far length when the search got that far) and the partial
+    result is never cached.
+
+    [state_dir] enables the crash-safe warm-restart journal
+    ({!Statefile}): committed cache entries are appended to
+    [state_dir/state.ccsj] and replayed here on creation — with
+    torn-tail truncation, logged as a [serve.restore] line — so a
+    restarted engine serves previously-cached sessions byte-identically
+    (as [cached:true] hits) and replans against pre-crash session ids
+    still work (the deterministic scheduler lazily re-derives the
+    in-memory schedule the first time a chain needs it).
+    @raise Invalid_argument when [capacity < 1].
+    @raise Failure when [state_dir] cannot be created or opened. *)
+
+val close : t -> unit
+(** Release the warm-restart journal's file handle (a no-op without
+    [state_dir]).  The engine must not be used afterwards. *)
 
 val handle : t -> id:int -> Protocol.request -> Protocol.reply
 (** Answer one request.  Never raises: every failure mode becomes an

@@ -17,6 +17,7 @@ type knobs = {
   speeds : int array option;
   slowdown : int;
   transport : Cyclo.Cachekey.transport;
+  deadline_ms : int option;
 }
 
 let default_knobs =
@@ -26,6 +27,7 @@ let default_knobs =
     speeds = None;
     slowdown = 1;
     transport = Cyclo.Cachekey.Store_and_forward;
+    deadline_ms = None;
   }
 
 type request =
@@ -34,13 +36,22 @@ type request =
       session : string;
       fail_pes : int list;
       fail_links : (int * int) list;
+      deadline_ms : int option;
     }
   | Stats
   | Metrics
   | Health
   | Shutdown
 
-type err = { code : string; message : string }
+type err = {
+  code : string;
+  message : string;
+  retry_after_ms : int option;
+  best_length : int option;
+}
+
+let err ?retry_after_ms ?best_length code message =
+  { code; message; retry_after_ms; best_length }
 
 type stats = {
   hits : int;
@@ -122,7 +133,16 @@ let json_escape s =
 (* Request parsing                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let fail code fmt = Printf.ksprintf (fun message -> Error { code; message }) fmt
+let fail code fmt =
+  Printf.ksprintf (fun message -> Error (err code message)) fmt
+
+let parse_deadline_ms json =
+  match Json.member "deadline_ms" json with
+  | None | Some Json.Null -> Ok None
+  | Some v -> (
+      match Json.to_int v with
+      | Some n when n >= 1 -> Ok (Some n)
+      | _ -> fail "bad_request" "\"deadline_ms\" must be an integer >= 1")
 
 let parse_knobs json =
   let ( let* ) = Result.bind in
@@ -173,7 +193,8 @@ let parse_knobs json =
             else Ok (Some a)
         | _ -> fail "bad_request" "\"speeds\" must be an array of integers")
   in
-  Ok { mode; passes; speeds; slowdown; transport }
+  let* deadline_ms = parse_deadline_ms json in
+  Ok { mode; passes; speeds; slowdown; transport; deadline_ms }
 
 let parse_pe_list name json =
   match Json.member name json with
@@ -267,12 +288,13 @@ let parse_request line =
         in
         let* fail_pes = parse_pe_list "fail_pes" json in
         let* fail_links = parse_link_list "fail_links" json in
+        let* deadline_ms = parse_deadline_ms json in
         if fail_pes = [] && fail_links = [] then
           with_id
             (fail "bad_request"
                "a replan needs at least one \"fail_pes\" or \"fail_links\" \
                 entry")
-        else Ok (Replan { session; fail_pes; fail_links })
+        else Ok (Replan { session; fail_pes; fail_links; deadline_ms })
     | "stats" -> Ok Stats
     | "metrics" -> Ok Metrics
     | "health" -> Ok Health
@@ -322,8 +344,12 @@ let request_to_json ?(trace = false) ~id request =
             (Printf.sprintf ",\"speeds\":[%s]"
                (String.concat ","
                   (List.map string_of_int (Array.to_list a))))
+      | None -> ());
+      (match knobs.deadline_ms with
+      | Some n ->
+          Buffer.add_string buf (Printf.sprintf ",\"deadline_ms\":%d" n)
       | None -> ())
-  | Replan { session; fail_pes; fail_links } ->
+  | Replan { session; fail_pes; fail_links; deadline_ms } ->
       Buffer.add_string buf
         (Printf.sprintf ",\"op\":\"replan\",\"session\":\"%s\""
            (json_escape session));
@@ -337,7 +363,11 @@ let request_to_json ?(trace = false) ~id request =
              (String.concat ","
                 (List.map
                    (fun (a, b) -> Printf.sprintf "[%d,%d]" a b)
-                   fail_links)))
+                   fail_links)));
+      (match deadline_ms with
+      | Some n ->
+          Buffer.add_string buf (Printf.sprintf ",\"deadline_ms\":%d" n)
+      | None -> ())
   | Stats -> Buffer.add_string buf ",\"op\":\"stats\""
   | Metrics -> Buffer.add_string buf ",\"op\":\"metrics\""
   | Health -> Buffer.add_string buf ",\"op\":\"health\""
@@ -404,12 +434,23 @@ let reply_to_json = function
         "{\"rpc\":\"%s\",\"id\":%d,\"ok\":true,\"op\":\"shutdown\"}" version
         id
   | Error_reply { id; err } ->
+      (* the two hint fields are additive: absent unless set, so every
+         pre-existing error reply keeps its exact bytes *)
+      let hints =
+        (match err.retry_after_ms with
+        | Some n -> Printf.sprintf ",\"retry_after_ms\":%d" n
+        | None -> "")
+        ^
+        match err.best_length with
+        | Some n -> Printf.sprintf ",\"best_length\":%d" n
+        | None -> ""
+      in
       Printf.sprintf
         "{\"rpc\":\"%s\",\"id\":%s,\"ok\":false,\"error\":{\"code\":\"%s\",\
-         \"message\":\"%s\"}}"
+         \"message\":\"%s\"%s}}"
         version
         (match id with Some id -> string_of_int id | None -> "null")
-        (json_escape err.code) (json_escape err.message)
+        (json_escape err.code) (json_escape err.message) hints
 
 (* The trace breakdown is additive: it is spliced onto the already
    serialised reply, so a traced reply is byte-identical to the
@@ -462,7 +503,13 @@ let parse_reply line =
         Option.value ~default:""
           (Option.bind (Json.member "message" e) Json.to_str)
       in
-      Ok (Error_reply { id; err = { code; message } })
+      let retry_after_ms =
+        Option.bind (Json.member "retry_after_ms" e) Json.to_int
+      in
+      let best_length =
+        Option.bind (Json.member "best_length" e) Json.to_int
+      in
+      Ok (Error_reply { id; err = { code; message; retry_after_ms; best_length } })
   | Some (Json.Bool true) -> (
       let* id = require "id" (int "id") in
       let* op = require "op" (str "op") in

@@ -25,6 +25,11 @@ type knobs = {
   speeds : int array option;  (** default: homogeneous *)
   slowdown : int;  (** delay multiplier, default 1 *)
   transport : Cyclo.Cachekey.transport;  (** default [Store_and_forward] *)
+  deadline_ms : int option;
+      (** server-side computation budget in milliseconds; default: the
+          daemon's [--default-deadline], or none.  Not part of the
+          cache key — a deadline changes when an answer arrives, never
+          which answer is cached. *)
 }
 
 val default_knobs : knobs
@@ -35,6 +40,7 @@ type request =
       session : string;
       fail_pes : int list;  (** 1-based, as everywhere user-facing *)
       fail_links : (int * int) list;  (** 1-based endpoint pairs *)
+      deadline_ms : int option;  (** as in {!knobs} *)
     }
   | Stats
   | Metrics
@@ -43,10 +49,27 @@ type request =
   | Health
   | Shutdown
 
-type err = { code : string; message : string }
+type err = {
+  code : string;
+  message : string;
+  retry_after_ms : int option;
+      (** only on [overloaded]: suggested client backoff before
+          retrying, from the daemon's own service-time estimate *)
+  best_length : int option;
+      (** only on [deadline_exceeded]: length of the best legal
+          schedule found before the budget expired, when the search got
+          far enough to have one *)
+}
 (** [code] is one of the stable machine-readable identifiers documented
     in [docs/service.md]: [parse], [version], [bad_request],
-    [bad_graph], [unknown_session], [replan_failed], [internal]. *)
+    [bad_graph], [unknown_session], [replan_failed],
+    [deadline_exceeded], [overloaded], [internal].  The two hint fields
+    are additive ccsched-rpc/1 extensions serialised only when set, so
+    every pre-existing error reply keeps its exact bytes. *)
+
+val err :
+  ?retry_after_ms:int -> ?best_length:int -> string -> string -> err
+(** [err code message] with both hints defaulting to [None]. *)
 
 type stats = {
   hits : int;

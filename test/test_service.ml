@@ -6,6 +6,7 @@
 module P = Service.Protocol
 module Engine = Service.Engine
 module Lru = Service.Lru
+module Statefile = Service.Statefile
 module Cachekey = Cyclo.Cachekey
 
 let check = Alcotest.(check int)
@@ -172,7 +173,8 @@ let test_replan_matches_degrade () =
   let reply, _ =
     Engine.handle_line e
       (P.request_to_json ~id:2
-         (P.Replan { session; fail_pes = [ 3 ]; fail_links = [] }))
+         (P.Replan
+            { session; fail_pes = [ 3 ]; fail_links = []; deadline_ms = None }))
   in
   check_str "replan schedule equals Degrade.replan's"
     (Cyclo.Export.to_json plan.Cyclo.Degrade.schedule)
@@ -193,7 +195,8 @@ let test_replan_matches_degrade () =
       let again, _ =
         Engine.handle_line e
           (P.request_to_json ~id:2
-             (P.Replan { session; fail_pes = [ 3 ]; fail_links = [] }))
+             (P.Replan
+            { session; fail_pes = [ 3 ]; fail_links = []; deadline_ms = None }))
       in
       check_str "repeat replan is a byte-identical hit"
         (replace ~sub:"\"cached\":false" ~by:"\"cached\":true" reply)
@@ -207,7 +210,7 @@ let test_replan_unknown_session () =
       (P.request_to_json ~id:9
          (P.Replan
             { session = "feedfacefeedfacefeedfacefeedface"; fail_pes = [ 1 ];
-              fail_links = [] }))
+              fail_links = []; deadline_ms = None }))
   in
   match P.parse_reply reply with
   | Ok (P.Error_reply { id; err }) ->
@@ -434,7 +437,7 @@ let test_traced_reply_byte_identity () =
 
 (* {2 The socket itself} *)
 
-let with_server f =
+let with_server ?(config = fun c -> c) f =
   let path =
     Filename.concat
       (Filename.get_temp_dir_name ())
@@ -446,12 +449,13 @@ let with_server f =
     Domain.spawn (fun () ->
         Service.Server.run
           ~on_ready:(fun () -> Atomic.set ready true)
-          {
-            Service.Server.socket_path = path;
-            capacity = 8;
-            domains = Some 1;
-            max_clients = 4;
-          })
+          (config
+             {
+               (Service.Server.default_config ~socket_path:path) with
+               capacity = 8;
+               domains = Some 1;
+               max_clients = 4;
+             }))
   in
   let rec wait n =
     if not (Atomic.get ready) then
@@ -531,6 +535,571 @@ let test_socket_trace_identity () =
   | Ok (P.Shutdown_ack _) -> Service.Client.close c2
   | _ -> Alcotest.fail "expected a shutdown ack"
 
+(* {2 Deadlines and cancellation} *)
+
+let test_time_budget_cancels_compaction () =
+  let topo = Result.get_ok (Topology.of_spec "mesh:2x4") in
+  let comm = Cyclo.Comm.of_topology topo in
+  let r = Cyclo.Compaction.run ~time_budget:0. (fig7 ()) comm in
+  check_bool "zero budget times out" true r.Cyclo.Compaction.timed_out;
+  (* best-so-far is still a complete, legal schedule (startup at worst) *)
+  check_bool "best is a schedule" true
+    (Cyclo.Schedule.length r.Cyclo.Compaction.best > 0);
+  let full = Cyclo.Compaction.run (fig7 ()) comm in
+  check_bool "no budget, no timeout" false full.Cyclo.Compaction.timed_out
+
+let test_time_budget_cancels_degrade () =
+  let topo = Result.get_ok (Topology.of_spec "mesh:2x4") in
+  let best =
+    (Cyclo.Compaction.run_on (fig7 ()) topo).Cyclo.Compaction.best
+  in
+  match
+    Cyclo.Degrade.replan ~time_budget:0. best topo ~failed_pes:[ 2 ]
+      ~failed_links:[]
+  with
+  | Error msg ->
+      check_str "typed sentinel" Cyclo.Degrade.deadline_error msg
+  | Ok _ -> Alcotest.fail "zero budget should cancel the replan"
+
+let test_protocol_deadline_and_hints () =
+  let line =
+    P.request_to_json ~id:3
+      (P.Schedule
+         {
+           graph = P.Workload "fig7";
+           arch = "ring:4";
+           knobs = { P.default_knobs with P.deadline_ms = Some 250 };
+         })
+  in
+  check_bool "deadline on the wire" true (contains line "\"deadline_ms\":250");
+  (match P.parse_request line with
+  | Ok (3, P.Schedule { knobs; _ }, false) ->
+      check "deadline parses back" 250 (Option.get knobs.P.deadline_ms)
+  | _ -> Alcotest.fail "request with deadline should parse");
+  (* the error hints are additive: present exactly when set, and they
+     round-trip through the reply parser *)
+  let hinted =
+    P.reply_to_json
+      (P.Error_reply
+         {
+           id = Some 9;
+           err = P.err ~retry_after_ms:120 ~best_length:44 "overloaded" "m";
+         })
+  in
+  check_bool "retry hint serialised" true
+    (contains hinted "\"retry_after_ms\":120");
+  check_bool "best_length serialised" true
+    (contains hinted "\"best_length\":44");
+  (match P.parse_reply hinted with
+  | Ok (P.Error_reply { err; _ }) ->
+      check "retry hint parses" 120 (Option.get err.P.retry_after_ms);
+      check "best_length parses" 44 (Option.get err.P.best_length)
+  | _ -> Alcotest.fail "hinted error reply should parse");
+  let plain =
+    P.reply_to_json
+      (P.Error_reply { id = Some 9; err = P.err "parse" "m" })
+  in
+  check_bool "no hint fields when unset" false
+    (contains plain "retry_after_ms" || contains plain "best_length")
+
+let test_engine_deadline_exceeded () =
+  let e = Engine.create () in
+  let knobs =
+    { P.default_knobs with P.deadline_ms = Some 1; passes = Some 10_000 }
+  in
+  let reply, _ =
+    Engine.handle_line e (sched_line ~id:11 ~knobs "elliptic-slow3" "mesh:4x4")
+  in
+  (match P.parse_reply reply with
+  | Ok (P.Error_reply { id; err }) ->
+      check "echoes id" 11 (Option.get id);
+      check_str "typed deadline error" "deadline_exceeded" err.P.code;
+      check_bool "carries best-so-far length" true (err.P.best_length <> None)
+  | _ -> Alcotest.fail "expected a deadline_exceeded error reply");
+  (* the partial result must never be cached: re-asking without a
+     deadline is a miss that computes the full answer *)
+  check "partial result not cached" 0 (Engine.stats e).P.entries;
+  let knobs = { P.default_knobs with P.passes = Some 32 } in
+  let full, _ =
+    Engine.handle_line e (sched_line ~id:12 ~knobs "elliptic-slow3" "mesh:4x4")
+  in
+  (match P.parse_reply full with
+  | Ok (P.Scheduled { cached; _ }) -> check_bool "computed fresh" false cached
+  | _ -> Alcotest.fail "expected a schedule reply");
+  (* the daemon-wide default applies when the request carries none *)
+  let e2 = Engine.create ~default_deadline_ms:1 () in
+  let knobs = { P.default_knobs with P.passes = Some 10_000 } in
+  let reply, _ =
+    Engine.handle_line e2 (sched_line ~id:13 ~knobs "elliptic-slow3" "mesh:4x4")
+  in
+  match P.parse_reply reply with
+  | Ok (P.Error_reply { err; _ }) ->
+      check_str "default deadline applies" "deadline_exceeded" err.P.code
+  | _ -> Alcotest.fail "expected the default deadline to expire"
+
+(* {2 Parent eviction (typed, never internal)} *)
+
+let test_replan_after_parent_eviction () =
+  let e = Engine.create ~capacity:1 () in
+  let first, _ = Engine.handle_line e (sched_line "fig7" "mesh:2x4") in
+  let session =
+    match P.parse_reply first with
+    | Ok (P.Scheduled { session; _ }) -> session
+    | _ -> Alcotest.fail "expected a schedule reply"
+  in
+  ignore (Engine.handle_line e (sched_line ~id:2 "fig7" "ring:8"));
+  (* capacity 1: the ring:8 schedule evicted the mesh session *)
+  let reply, _ =
+    Engine.handle_line e
+      (P.request_to_json ~id:3
+         (P.Replan
+            { session; fail_pes = [ 2 ]; fail_links = []; deadline_ms = None }))
+  in
+  match P.parse_reply reply with
+  | Ok (P.Error_reply { id; err }) ->
+      check "echoes id" 3 (Option.get id);
+      check_str "typed, not internal" "unknown_session" err.P.code
+  | _ -> Alcotest.fail "expected a typed unknown_session error"
+
+(* {2 Crash-safe warm restart} *)
+
+let state_dir_seq = ref 0
+
+let with_state_dir f =
+  incr state_dir_seq;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ccsched-test-state-%d-%d" (Unix.getpid ())
+         !state_dir_seq)
+  in
+  let cleanup () =
+    (try Unix.unlink (Filename.concat dir "state.ccsj")
+     with Unix.Unix_error _ -> ());
+    (try Unix.unlink (Filename.concat dir "state.ccsj.tmp")
+     with Unix.Unix_error _ -> ());
+    try Unix.rmdir dir with Unix.Unix_error _ -> ()
+  in
+  cleanup ();
+  Fun.protect ~finally:cleanup (fun () -> f dir)
+
+let test_warm_restart_byte_identity () =
+  with_state_dir @@ fun dir ->
+  let sched = sched_line "fig7" "mesh:2x4" in
+  let replan_line =
+    P.request_to_json ~id:2
+      (P.Replan
+         {
+           session =
+             (let e = Engine.create () in
+              match
+                P.parse_reply (fst (Engine.handle_line e sched))
+              with
+              | Ok (P.Scheduled { session; _ }) -> session
+              | _ -> Alcotest.fail "expected a schedule reply");
+           fail_pes = [ 3 ];
+           fail_links = [];
+           deadline_ms = None;
+         })
+  in
+  let e1 = Engine.create ~state_dir:dir () in
+  let miss, _ = Engine.handle_line e1 sched in
+  let replanned, _ = Engine.handle_line e1 replan_line in
+  Engine.close e1;
+  (* a restarted engine answers both byte-identically, as cache hits *)
+  let e2 = Engine.create ~state_dir:dir () in
+  check "both entries restored" 2 (Engine.stats e2).P.entries;
+  let hit, _ = Engine.handle_line e2 sched in
+  check_str "restored schedule hit is byte-identical modulo cached"
+    (replace ~sub:"\"cached\":false" ~by:"\"cached\":true" miss)
+    hit;
+  let replan_hit, _ = Engine.handle_line e2 replan_line in
+  check_str "restored replan hit is byte-identical modulo cached"
+    (replace ~sub:"\"cached\":false" ~by:"\"cached\":true" replanned)
+    replan_hit;
+  check "restart serves from cache" 2 (Engine.stats e2).P.hits;
+  Engine.close e2
+
+let test_warm_restart_replan_chains () =
+  with_state_dir @@ fun dir ->
+  let sched = sched_line "fig7" "mesh:2x4" in
+  let e1 = Engine.create ~state_dir:dir () in
+  let session =
+    match P.parse_reply (fst (Engine.handle_line e1 sched)) with
+    | Ok (P.Scheduled { session; _ }) -> session
+    | _ -> Alcotest.fail "expected a schedule reply"
+  in
+  let first_fault =
+    P.request_to_json ~id:2
+      (P.Replan
+         { session; fail_pes = [ 3 ]; fail_links = []; deadline_ms = None })
+  in
+  let r1_session =
+    match P.parse_reply (fst (Engine.handle_line e1 first_fault)) with
+    | Ok (P.Replanned { session; _ }) -> session
+    | _ -> Alcotest.fail "expected a replan reply"
+  in
+  let second_fault =
+    P.request_to_json ~id:3
+      (P.Replan
+         {
+           session = r1_session;
+           fail_pes = [ 4 ];
+           fail_links = [];
+           deadline_ms = None;
+         })
+  in
+  (* the reference: chain the second fault on a never-restarted engine *)
+  let reference, _ = Engine.handle_line e1 second_fault in
+  Engine.close e1;
+  (* after a restart the chain's schedules are rebuilt lazily; the
+     deterministic scheduler must land on the same bytes *)
+  let e2 = Engine.create ~state_dir:dir () in
+  let chained, _ = Engine.handle_line e2 second_fault in
+  check_str "restored chain replan equals the never-crashed reply"
+    (replace ~sub:"\"cached\":false" ~by:"\"cached\":true" reference)
+    chained;
+  Engine.close e2
+
+let test_restored_chain_reports_evicted_parent () =
+  with_state_dir @@ fun dir ->
+  let e1 = Engine.create ~state_dir:dir () in
+  let session =
+    match
+      P.parse_reply (fst (Engine.handle_line e1 (sched_line "fig7" "mesh:2x4")))
+    with
+    | Ok (P.Scheduled { session; _ }) -> session
+    | _ -> Alcotest.fail "expected a schedule reply"
+  in
+  let r1_session =
+    match
+      P.parse_reply
+        (fst
+           (Engine.handle_line e1
+              (P.request_to_json ~id:2
+                 (P.Replan
+                    {
+                      session;
+                      fail_pes = [ 3 ];
+                      fail_links = [];
+                      deadline_ms = None;
+                    }))))
+    with
+    | Ok (P.Replanned { session; _ }) -> session
+    | _ -> Alcotest.fail "expected a replan reply"
+  in
+  Engine.close e1;
+  (* capacity 1: replay keeps only the newest record (the replan), so
+     forcing its parent must fail with a typed error, not internal *)
+  let e2 = Engine.create ~capacity:1 ~state_dir:dir () in
+  check "only the replan survived replay" 1 (Engine.stats e2).P.entries;
+  let reply, _ =
+    Engine.handle_line e2
+      (P.request_to_json ~id:3
+         (P.Replan
+            {
+              session = r1_session;
+              fail_pes = [ 4 ];
+              fail_links = [];
+              deadline_ms = None;
+            }))
+  in
+  (match P.parse_reply reply with
+  | Ok (P.Error_reply { err; _ }) ->
+      check_str "typed, not internal" "unknown_session" err.P.code
+  | _ -> Alcotest.fail "expected a typed unknown_session error");
+  Engine.close e2
+
+let test_journal_compacts_under_churn () =
+  with_state_dir @@ fun dir ->
+  let e = Engine.create ~capacity:4 ~state_dir:dir () in
+  (* 80 distinct keys through a 4-entry cache: far more appends than
+     live entries, so the engine must compact the journal *)
+  for i = 1 to 80 do
+    let knobs = { P.default_knobs with P.passes = Some (16 + i) } in
+    ignore (Engine.handle_line e (sched_line ~id:i ~knobs "tiny-chain" "ring:4"))
+  done;
+  let last_knobs = { P.default_knobs with P.passes = Some (16 + 80) } in
+  let last, _ =
+    Engine.handle_line e (sched_line ~id:99 ~knobs:last_knobs "tiny-chain" "ring:4")
+  in
+  Engine.close e;
+  let size =
+    (Unix.stat (Filename.concat dir "state.ccsj")).Unix.st_size
+  in
+  (* a compacted journal holds ~4 live records, not 80 appends *)
+  check_bool "journal stayed bounded" true (size < 80 * 256);
+  let e2 = Engine.create ~capacity:4 ~state_dir:dir () in
+  check "live entries restored" 4 (Engine.stats e2).P.entries;
+  let hit, _ =
+    Engine.handle_line e2 (sched_line ~id:99 ~knobs:last_knobs "tiny-chain" "ring:4")
+  in
+  check_str "most-recent entry survived compaction"
+    (replace ~sub:"\"cached\":false" ~by:"\"cached\":true" last)
+    hit;
+  Engine.close e2
+
+(* {2 Statefile framing (torn tails, corruption at every byte)} *)
+
+let sample_records () =
+  [
+    Statefile.Sched
+      {
+        Statefile.s_key = "0123456789abcdef0123456789abcdef";
+        s_graph = P.Workload "tiny-chain";
+        s_arch = "ring:4";
+        s_knobs = P.default_knobs;
+        s_length = 7;
+        s_passes = 3;
+        s_schedule_json = "{\"length\":7,\"slots\":[[1,2],[3]]}";
+      };
+    Statefile.Replan
+      {
+        Statefile.r_key = "feedfacefeedfacefeedfacefeedface";
+        r_parent = "0123456789abcdef0123456789abcdef";
+        r_fail_pes = [ 2 ];
+        r_fail_links = [ (1, 3) ];
+        r_length = 9;
+        r_strategy = "patched";
+        r_migration_cost = 4;
+        r_moved = 2;
+        r_surviving = 5;
+        r_schedule_json = "{\"length\":9,\"slots\":[[2],[3]]}";
+      };
+  ]
+
+let test_statefile_crc_and_round_trip () =
+  Alcotest.(check int32)
+    "CRC-32 check value" 0xCBF43926l
+    (Statefile.crc32 "123456789");
+  List.iter
+    (fun r ->
+      let framed = Statefile.encode_record r in
+      let payload = String.sub framed 8 (String.length framed - 8) in
+      match Statefile.decode_payload payload with
+      | Ok r' -> check_bool "record round-trips" true (r = r')
+      | Error msg -> Alcotest.fail ("round trip failed: " ^ msg))
+    (sample_records ())
+
+(* Write [data] as a fresh journal image and open it. *)
+let open_image dir data =
+  (try Unix.mkdir dir 0o755
+   with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let file = Filename.concat dir "state.ccsj" in
+  let oc = open_out_bin file in
+  output_string oc data;
+  close_out oc;
+  match Statefile.open_ ~dir with
+  | Ok (t, records, dropped) ->
+      Statefile.close t;
+      (records, dropped)
+  | Error msg -> Alcotest.fail ("open_ rejected a corrupt journal: " ^ msg)
+
+let test_statefile_survives_any_truncation () =
+  with_state_dir @@ fun dir ->
+  let frames = List.map Statefile.encode_record (sample_records ()) in
+  let data = Statefile.magic ^ String.concat "" frames in
+  let b0 = String.length Statefile.magic in
+  let b1 = b0 + String.length (List.nth frames 0) in
+  let b2 = b1 + String.length (List.nth frames 1) in
+  check "image is the two frames" b2 (String.length data);
+  for cut = 0 to String.length data do
+    let records, dropped = open_image dir (String.sub data 0 cut) in
+    let expect_records, expect_good =
+      if cut < b0 then (0, 0)
+      else if cut < b1 then (0, b0)
+      else if cut < b2 then (1, b1)
+      else (2, b2)
+    in
+    check
+      (Printf.sprintf "records after truncation at byte %d" cut)
+      expect_records (List.length records);
+    let expect_dropped =
+      if cut < b0 then cut (* bad magic: everything dropped *)
+      else cut - expect_good
+    in
+    check
+      (Printf.sprintf "dropped bytes at cut %d" cut)
+      expect_dropped dropped;
+    (* the truncated journal is healed: appending then reopening works *)
+    if cut = b1 then begin
+      (match Statefile.open_ ~dir with
+      | Ok (t, _, _) ->
+          Statefile.append t (List.nth (sample_records ()) 1);
+          Statefile.close t
+      | Error msg -> Alcotest.fail msg);
+      match Statefile.open_ ~dir with
+      | Ok (t, records, dropped) ->
+          Statefile.close t;
+          check "append after truncation replays" 2 (List.length records);
+          check "healed journal drops nothing" 0 dropped
+      | Error msg -> Alcotest.fail msg
+    end
+  done
+
+let test_statefile_survives_any_byte_flip () =
+  with_state_dir @@ fun dir ->
+  let frames = List.map Statefile.encode_record (sample_records ()) in
+  let data = Statefile.magic ^ String.concat "" frames in
+  let b0 = String.length Statefile.magic in
+  let b1 = b0 + String.length (List.nth frames 0) in
+  for pos = 0 to String.length data - 1 do
+    let image = Bytes.of_string data in
+    Bytes.set image pos (Char.chr (Char.code (Bytes.get image pos) lxor 0x01));
+    let records, _ = open_image dir (Bytes.to_string image) in
+    (* a flip kills its own record and everything after it — CRC or
+       magic — but never earlier records, and never the open itself *)
+    let expect = if pos < b0 then 0 else if pos < b1 then 0 else 1 in
+    check
+      (Printf.sprintf "records after flipping byte %d" pos)
+      expect (List.length records)
+  done
+
+(* {2 Overload shedding over the socket} *)
+
+let read_lines fd n =
+  let buf = Buffer.create 4096 in
+  let chunk = Bytes.create 4096 in
+  let count () =
+    String.fold_left
+      (fun acc ch -> if ch = '\n' then acc + 1 else acc)
+      0 (Buffer.contents buf)
+  in
+  while count () < n do
+    match Unix.read fd chunk 0 (Bytes.length chunk) with
+    | 0 -> Alcotest.fail "server closed before all replies arrived"
+    | r -> Buffer.add_subbytes buf chunk 0 r
+  done;
+  String.split_on_char '\n' (Buffer.contents buf)
+  |> List.filter (fun l -> l <> "")
+
+let test_socket_overload_shedding () =
+  with_server ~config:(fun c -> { c with Service.Server.max_queue = 1 })
+  @@ fun path ->
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  (* four requests in one write: they arrive as one batch, the server
+     admits max_queue = 1 and sheds the rest with typed replies *)
+  let lines =
+    sched_line ~id:1 "fig7" "ring:4"
+    :: List.map (fun id -> P.request_to_json ~id P.Stats) [ 2; 3; 4 ]
+  in
+  let payload = String.concat "\n" lines ^ "\n" in
+  ignore (Unix.write_substring fd payload 0 (String.length payload));
+  let replies = List.map P.parse_reply (read_lines fd 4) in
+  let by_id id =
+    match
+      List.find_opt
+        (function
+          | Ok (P.Scheduled { id = i; _ })
+          | Ok (P.Stats_reply { id = i; _ }) -> i = id
+          | Ok (P.Error_reply { id = Some i; _ }) -> i = id
+          | _ -> false)
+        replies
+    with
+    | Some r -> r
+    | None -> Alcotest.fail (Printf.sprintf "no reply for id %d" id)
+  in
+  (match by_id 1 with
+  | Ok (P.Scheduled _) -> ()
+  | _ -> Alcotest.fail "the admitted request should be answered");
+  List.iter
+    (fun id ->
+      match by_id id with
+      | Ok (P.Error_reply { err; _ }) ->
+          check_str
+            (Printf.sprintf "id %d shed with a typed reply" id)
+            "overloaded" err.P.code;
+          check_bool
+            (Printf.sprintf "id %d carries a backoff hint" id)
+            true
+            (match err.P.retry_after_ms with Some ms -> ms >= 1 | None -> false)
+      | _ -> Alcotest.fail (Printf.sprintf "id %d should have been shed" id))
+    [ 2; 3; 4 ];
+  let shutdown_line = P.request_to_json ~id:5 P.Shutdown ^ "\n" in
+  ignore
+    (Unix.write_substring fd shutdown_line 0 (String.length shutdown_line));
+  (match P.parse_reply (List.hd (read_lines fd 1)) with
+  | Ok (P.Shutdown_ack _) -> ()
+  | _ -> Alcotest.fail "expected a shutdown ack");
+  Unix.close fd
+
+(* {2 Client retries} *)
+
+let test_backoff_schedule () =
+  let a = Service.Client.backoff_delays ~retries:5 ~seed:42 in
+  check "five delays" 5 (List.length a);
+  Alcotest.(check (list (float 1e-12)))
+    "deterministic under the seed" a
+    (Service.Client.backoff_delays ~retries:5 ~seed:42);
+  check_bool "seed changes the jitter" true
+    (a <> Service.Client.backoff_delays ~retries:5 ~seed:43);
+  List.iteri
+    (fun i d ->
+      let cap = 0.05 *. (2. ** float_of_int i) in
+      check_bool
+        (Printf.sprintf "delay %d within [cap/2, cap)" i)
+        true
+        (d >= (cap /. 2.) -. 1e-12 && d < cap))
+    a;
+  check "no retries, no delays" 0
+    (List.length (Service.Client.backoff_delays ~retries:0 ~seed:1))
+
+let test_retry_exhausts_on_dead_socket () =
+  let slept = ref [] in
+  let dead =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ccsched-test-dead-%d.sock" (Unix.getpid ()))
+  in
+  (try Unix.unlink dead with Unix.Unix_error _ -> ());
+  let r =
+    Service.Client.retrying
+      ~sleep:(fun d -> slept := d :: !slept)
+      ~retries:3 ~seed:7 dead
+  in
+  (match
+     Service.Client.retrying_rpc_line r (P.request_to_json ~id:1 P.Stats)
+   with
+  | Error (Service.Client.Connect_failed _) -> ()
+  | _ -> Alcotest.fail "a dead socket should exhaust into Connect_failed");
+  check "one sleep per retry" 3 (List.length !slept);
+  Alcotest.(check (list (float 1e-12)))
+    "slept exactly the backoff schedule"
+    (Service.Client.backoff_delays ~retries:3 ~seed:7)
+    (List.rev !slept);
+  check "attempts counted" 3 (Service.Client.retrying_attempts r);
+  Service.Client.retrying_close r
+
+let test_retry_passes_through_typed_errors () =
+  with_server @@ fun path ->
+  let r = Service.Client.retrying ~sleep:(fun _ -> Alcotest.fail "no retry expected") ~retries:5 ~seed:1 path in
+  (match
+     Service.Client.retrying_rpc_line r
+       (P.request_to_json ~id:1
+          (P.Replan
+             {
+               session = "feedfacefeedfacefeedfacefeedface";
+               fail_pes = [ 1 ];
+               fail_links = [];
+               deadline_ms = None;
+             }))
+   with
+  | Ok reply -> (
+      match P.parse_reply reply with
+      | Ok (P.Error_reply { err; _ }) ->
+          check_str "typed server errors are definitive" "unknown_session"
+            err.P.code
+      | _ -> Alcotest.fail "expected the typed error reply")
+  | Error e -> Alcotest.fail (Service.Client.error_to_string e));
+  check "no transport retries happened" 0 (Service.Client.retrying_attempts r);
+  (match
+     Service.Client.retrying_rpc_line r (P.request_to_json ~id:2 P.Shutdown)
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Service.Client.error_to_string e));
+  Service.Client.retrying_close r
+
 let () =
   let q = QCheck_alcotest.to_alcotest in
   Alcotest.run "service"
@@ -588,5 +1157,48 @@ let () =
           Alcotest.test_case "round trip" `Quick test_socket_round_trip;
           Alcotest.test_case "two-client trace identity" `Quick
             test_socket_trace_identity;
+          Alcotest.test_case "overload shedding" `Quick
+            test_socket_overload_shedding;
+        ] );
+      ( "deadline",
+        [
+          Alcotest.test_case "compaction budget" `Quick
+            test_time_budget_cancels_compaction;
+          Alcotest.test_case "degrade budget" `Quick
+            test_time_budget_cancels_degrade;
+          Alcotest.test_case "wire fields round-trip" `Quick
+            test_protocol_deadline_and_hints;
+          Alcotest.test_case "engine deadline_exceeded" `Quick
+            test_engine_deadline_exceeded;
+          Alcotest.test_case "evicted parent is typed" `Quick
+            test_replan_after_parent_eviction;
+        ] );
+      ( "statefile",
+        [
+          Alcotest.test_case "crc and round trip" `Quick
+            test_statefile_crc_and_round_trip;
+          Alcotest.test_case "truncation at every byte" `Quick
+            test_statefile_survives_any_truncation;
+          Alcotest.test_case "corruption at every byte" `Quick
+            test_statefile_survives_any_byte_flip;
+        ] );
+      ( "warm-restart",
+        [
+          Alcotest.test_case "byte identity" `Quick
+            test_warm_restart_byte_identity;
+          Alcotest.test_case "replan chains" `Quick
+            test_warm_restart_replan_chains;
+          Alcotest.test_case "evicted parent after replay" `Quick
+            test_restored_chain_reports_evicted_parent;
+          Alcotest.test_case "journal compaction" `Quick
+            test_journal_compacts_under_churn;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "backoff schedule" `Quick test_backoff_schedule;
+          Alcotest.test_case "dead socket exhausts" `Quick
+            test_retry_exhausts_on_dead_socket;
+          Alcotest.test_case "typed errors pass through" `Quick
+            test_retry_passes_through_typed_errors;
         ] );
     ]
